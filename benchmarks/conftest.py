@@ -1,0 +1,48 @@
+"""Benchmark-harness fixtures: shared paper suite + table reporting.
+
+Every benchmark regenerates one of the paper's tables/figures; the
+rendered text is collected here and echoed in the terminal summary
+(and written under ``benchmarks/results/``) so ``pytest benchmarks/
+--benchmark-only`` produces the same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import run_creation_suite
+
+#: Seed used by every paper-reproduction benchmark.
+PAPER_SEED = 2004
+
+_TABLES: "dict[str, str]" = {}
+_RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def paper_suite():
+    """The three Section 4.2 creation runs, computed once per session."""
+    return run_creation_suite(seed=PAPER_SEED)
+
+
+@pytest.fixture
+def record_table():
+    """Callable that registers a rendered paper table for reporting."""
+
+    def _record(name: str, text: str) -> None:
+        _TABLES[name] = text
+        _RESULTS_DIR.mkdir(exist_ok=True)
+        (_RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    for name in sorted(_TABLES):
+        terminalreporter.write_sep("=", f"paper artifact: {name}")
+        for line in _TABLES[name].splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,34 @@
+"""Benchmark: Figure 6 — cloning time vs. VM sequence number.
+
+The paper's observation: cloning times grow once plants host many VMs,
+most noticeably in the 64 MB (16 clones/host) and 256 MB (5 clones/
+host) runs, while the 32 MB run stays flat.  Checked via head/tail
+ratios and trend slopes.
+"""
+
+from repro.experiments.figure6 import run_figure6
+
+
+def test_figure6(benchmark, paper_suite, record_table):
+    result = benchmark.pedantic(
+        lambda: run_figure6(suite=paper_suite), rounds=1, iterations=1
+    )
+    record_table("figure6_cloning_vs_sequence", result.render())
+
+    flat = result.head_tail_ratio("32 MB")
+    grow64 = result.head_tail_ratio("64 MB")
+    grow256 = result.head_tail_ratio("256 MB")
+    # 32 MB stays flat; the bigger machines climb.
+    assert 0.85 < flat < 1.2
+    assert grow64 > 1.25
+    assert grow256 > 1.25
+    assert result.trend_slope("64 MB") > 0
+    assert result.trend_slope("256 MB") > 0
+
+    benchmark.extra_info.update(
+        {
+            "head_tail_32mb": round(flat, 2),
+            "head_tail_64mb": round(grow64, 2),
+            "head_tail_256mb": round(grow256, 2),
+        }
+    )

@@ -1,0 +1,45 @@
+"""Benchmark: the Section 1/4.3 in-text numbers.
+
+* creation in 17–85 s (range), averaging 25–48 s;
+* the 2 GB / 16-file golden disk takes 210 s to copy in full —
+  "around 4 times slower than the average cloning time of the 256 MB
+  VM".
+"""
+
+from benchmarks.conftest import PAPER_SEED
+from repro.experiments.textnumbers import run_textnumbers
+
+
+def test_in_text_numbers(benchmark, paper_suite, record_table):
+    result = benchmark.pedantic(
+        lambda: run_textnumbers(seed=PAPER_SEED, suite=paper_suite),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("textnumbers_section43", result.render())
+
+    # Range shape (paper: 17–85 s): tens of seconds to ~1.5 minutes.
+    assert 10 < result.creation_min < 30
+    assert 60 < result.creation_max < 120
+    # Averages ordered and in the paper's band (25–48, loosely).
+    means = result.mean_by_memory
+    assert means[32] < means[64] < means[256]
+    assert 18 < means[32] < 32
+    # Full-copy time near 210 s and the ~4x ratio.
+    assert 170 < result.full_copy_clone_time < 260
+    assert 3.0 < result.copy_over_clone_ratio < 5.5
+
+    benchmark.extra_info.update(
+        {
+            "creation_range_s": (
+                f"{result.creation_min:.0f}-{result.creation_max:.0f}"
+            ),
+            "paper_creation_range_s": "17-85",
+            "full_copy_s": round(result.full_copy_clone_time, 0),
+            "paper_full_copy_s": 210,
+            "copy_over_clone_ratio": round(
+                result.copy_over_clone_ratio, 1
+            ),
+            "paper_ratio": "~4x",
+        }
+    )

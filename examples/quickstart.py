@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Quickstart: create, query and destroy one Grid VM through VMShop.
+
+Builds the simulated 8-node site (the paper's testbed), requests a
+32 MB Mandrake 8.1 VM configured with a network interface and a user
+identity, inspects its classad, then collects it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import build_testbed, experiment_request
+
+
+def main() -> None:
+    # The site: 8 VMPlants + NFS warehouse + VMShop, as in Section 4.2.
+    bed = build_testbed(seed=42)
+
+    # A creation request: hardware + network + software (the DAG).
+    request = experiment_request(memory_mb=32, domain="example.org")
+    print("Requesting a VM:")
+    print(f"  hardware : {request.hardware}")
+    print(f"  software : os={request.software.os}, "
+          f"dag={request.dag.topological_sort()}")
+
+    # Create through the shop (bidding selects the cheapest plant).
+    ad = bed.run(bed.shop.create(request))
+    vmid = ad["vmid"]
+    print("\nCreated:")
+    print(f"  vmid        : {vmid}")
+    print(f"  plant       : {ad['plant']}")
+    print(f"  ip          : {ad['ip']} on {ad['network_id']}")
+    print(f"  golden image: {ad['image_id']}")
+    print(f"  clone time  : {ad['clone_time']:.1f}s "
+          f"(+{ad['config_time']:.1f}s configuration)")
+    print(f"  cached/run  : {ad['actions_cached']} cached, "
+          f"{ad['actions_executed']} executed")
+
+    # Query the live VM (the plant's information system answers).
+    status = bed.run(bed.shop.query(vmid, attributes=("status", "uptime")))
+    print(f"\nQuery: status={status.get('status')}")
+
+    # Destroy (collect) it.
+    final = bed.run(bed.shop.destroy(vmid))
+    print(f"Destroyed: status={final.get('status')} "
+          f"at t={final.get('collected_at'):.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Regenerate every figure and in-text number of the paper's evaluation.
+
+Runs the full Section 4 methodology on the simulated testbed and
+prints paper-style tables for Figures 4-6, the UML study, the
+Section 3.4 cost-function illustration and the Section 4.3 prose
+numbers.  This is the same code the benchmark harness drives.
+
+Run:  python examples/reproduce_paper.py [seed]
+"""
+
+import sys
+
+from repro.experiments.ablations import (
+    run_clone_mode_ablation,
+    run_cost_model_ablation,
+    run_matching_ablation,
+    run_speculative_ablation,
+)
+from repro.experiments.costfn import run_costfn
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.runner import run_creation_suite
+from repro.experiments.textnumbers import run_textnumbers
+from repro.experiments.uml import run_uml
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 2004
+    print(f"(seed {seed})\n")
+
+    suite = run_creation_suite(seed=seed)
+    sections = [
+        run_figure4(suite=suite).render(),
+        run_figure5(suite=suite).render(),
+        run_figure6(suite=suite).render(),
+        run_uml(seed=seed).render(),
+        run_costfn(seed=seed).render(),
+        run_textnumbers(seed=seed, suite=suite).render(),
+        run_clone_mode_ablation(seed=seed).render(),
+        run_matching_ablation(seed=seed).render(),
+        run_speculative_ablation(seed=seed).render(),
+        run_cost_model_ablation(seed=seed).render(),
+    ]
+    print(("\n\n" + "=" * 70 + "\n\n").join(sections))
+
+
+if __name__ == "__main__":
+    main()

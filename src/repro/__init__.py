@@ -1,0 +1,97 @@
+"""VMPlants (SC 2004) reproduction.
+
+A from-scratch Python implementation of the VMPlant Grid service:
+graph-based VM configuration, partial matching of cached golden
+images, clone-based instantiation, the VMShop/VMPlant/VMBroker
+service architecture with cost bidding, and VNET-style virtual
+networking — plus the simulated testbed and local (real-filesystem)
+substrates used to reproduce the paper's evaluation.
+
+Quickstart::
+
+    from repro import build_testbed, experiment_request
+
+    bed = build_testbed(seed=1)
+    ad = bed.run(bed.shop.create(experiment_request(memory_mb=32)))
+    print(ad["vmid"], ad["total_time"])
+"""
+
+from repro.core import (
+    Action,
+    ActionResult,
+    ActionScope,
+    ActionStatus,
+    ClassAd,
+    ConfigDAG,
+    CreateRequest,
+    DestroyRequest,
+    ErrorPolicy,
+    HardwareSpec,
+    NetworkSpec,
+    QueryRequest,
+    SoftwareSpec,
+)
+from repro.cost import (
+    CompositeCost,
+    CostModel,
+    MemoryAvailableCost,
+    NetworkComputeCost,
+)
+from repro.plant import (
+    CloneMode,
+    GoldenImage,
+    ProductionLine,
+    VMPlant,
+    VMWarehouse,
+    VirtualMachine,
+)
+from repro.shop import ServiceRegistry, Transport, VMBroker, VMShop
+from repro.sim.cluster import Testbed, build_testbed, run_process
+from repro.workloads import (
+    experiment_dag,
+    experiment_request,
+    golden_image,
+    invigo_workspace_dag,
+    request_stream,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Action",
+    "ActionResult",
+    "ActionScope",
+    "ActionStatus",
+    "ClassAd",
+    "CloneMode",
+    "CompositeCost",
+    "ConfigDAG",
+    "CostModel",
+    "CreateRequest",
+    "DestroyRequest",
+    "ErrorPolicy",
+    "GoldenImage",
+    "HardwareSpec",
+    "MemoryAvailableCost",
+    "NetworkComputeCost",
+    "NetworkSpec",
+    "ProductionLine",
+    "QueryRequest",
+    "ServiceRegistry",
+    "SoftwareSpec",
+    "Testbed",
+    "Transport",
+    "VMBroker",
+    "VMPlant",
+    "VMShop",
+    "VMWarehouse",
+    "VirtualMachine",
+    "build_testbed",
+    "experiment_dag",
+    "experiment_request",
+    "golden_image",
+    "invigo_workspace_dag",
+    "request_stream",
+    "run_process",
+    "__version__",
+]

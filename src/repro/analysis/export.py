@@ -1,0 +1,95 @@
+"""CSV/JSON export of experiment results.
+
+Experiments return structured result objects; this module flattens
+the common ones into rows suitable for external plotting tools, and
+writes CSV without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.analysis.histograms import Histogram
+from repro.sim.hypervisor import CloneRecord
+
+__all__ = [
+    "rows_to_csv",
+    "histograms_to_rows",
+    "series_to_rows",
+    "clone_records_to_rows",
+    "summaries_to_json",
+]
+
+
+def rows_to_csv(
+    rows: Iterable[Mapping[str, Any]], fieldnames: Sequence[str]
+) -> str:
+    """Render dict rows as CSV text (header included)."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(fieldnames))
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({k: row.get(k, "") for k in fieldnames})
+    return buffer.getvalue()
+
+
+def histograms_to_rows(
+    series: Mapping[str, Histogram],
+) -> List[Dict[str, Any]]:
+    """Figure 4/5-style histograms → long-format rows."""
+    rows: List[Dict[str, Any]] = []
+    for name, hist in series.items():
+        for center, count, freq in hist.as_rows():
+            rows.append(
+                {
+                    "series": name,
+                    "bin_center": center,
+                    "count": count,
+                    "frequency": round(freq, 6),
+                }
+            )
+    return rows
+
+
+def series_to_rows(
+    series: Mapping[str, Sequence[Tuple[int, float]]],
+) -> List[Dict[str, Any]]:
+    """Figure 6-style sequence series → long-format rows."""
+    rows: List[Dict[str, Any]] = []
+    for name, points in series.items():
+        for x, y in points:
+            rows.append({"series": name, "sequence": x, "value": y})
+    return rows
+
+
+def clone_records_to_rows(
+    records: Iterable[CloneRecord],
+) -> List[Dict[str, Any]]:
+    """Raw clone records → rows (one per clone)."""
+    return [
+        {
+            "vmid": r.vmid,
+            "vm_type": r.vm_type,
+            "memory_mb": r.memory_mb,
+            "clone_mode": r.clone_mode,
+            "started_at": r.started_at,
+            "copy_time": r.copy_time,
+            "resume_time": r.resume_time,
+            "total_time": r.total_time,
+            "pressure": r.pressure,
+            "host_vms_before": r.host_vms_before,
+        }
+        for r in records
+    ]
+
+
+def summaries_to_json(summaries: Mapping[str, Any]) -> str:
+    """Summary objects → a JSON document."""
+    payload = {
+        name: (s.as_dict() if hasattr(s, "as_dict") else s)
+        for name, s in summaries.items()
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,111 @@
+"""Paper-style text rendering of experiment outputs.
+
+The benchmark harness prints the same rows/series the paper reports —
+one histogram column per golden-machine size for Figures 4 and 5, a
+sequence series for Figure 6, and summary tables for the in-text
+numbers.  Everything renders to plain monospaced text.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.analysis.histograms import Histogram
+from repro.analysis.stats import Summary
+
+__all__ = [
+    "render_histogram_table",
+    "render_summary_table",
+    "render_series",
+]
+
+
+def _fmt(value, width: int = 9, digits: int = 3) -> str:
+    if isinstance(value, float):
+        return f"{value:>{width}.{digits}f}"
+    return f"{value!s:>{width}}"
+
+
+def render_histogram_table(
+    title: str,
+    series: Mapping[str, Histogram],
+    x_label: str = "latency (s)",
+) -> str:
+    """Figure 4/5-style table: one frequency column per series."""
+    names = list(series)
+    if not names:
+        raise ValueError("no series to render")
+    centers = series[names[0]].centers
+    for name in names[1:]:
+        if series[name].centers != centers:
+            raise ValueError("series use different bin centers")
+    lines = [title, ""]
+    header = f"{x_label:>14} " + " ".join(f"{n:>10}" for n in names)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for i, center in enumerate(centers):
+        row = f"{center:>14.0f} " + " ".join(
+            f"{series[n].frequencies[i]:>10.3f}" for n in names
+        )
+        lines.append(row)
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'n':>14} " + " ".join(f"{series[n].total:>10d}" for n in names)
+    )
+    lines.append(
+        f"{'mean(est)':>14} "
+        + " ".join(f"{series[n].mean_estimate():>10.1f}" for n in names)
+    )
+    return "\n".join(lines)
+
+
+def render_summary_table(
+    title: str, rows: Mapping[str, Summary]
+) -> str:
+    """One Summary per labelled row."""
+    lines = [title, ""]
+    header = (
+        f"{'series':>14} {'n':>6} {'mean':>8} {'std':>8} "
+        f"{'min':>8} {'median':>8} {'max':>8}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, s in rows.items():
+        lines.append(
+            f"{name:>14} {s.count:>6d} {s.mean:>8.1f} {s.std:>8.1f} "
+            f"{s.minimum:>8.1f} {s.median:>8.1f} {s.maximum:>8.1f}"
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    series: Mapping[str, Sequence[Tuple[int, float]]],
+    x_label: str = "sequence",
+    y_label: str = "value",
+    max_rows: int = 0,
+) -> str:
+    """Figure 6-style table: per-series (x, y) points, row-aligned on x.
+
+    ``max_rows`` > 0 subsamples evenly to at most that many rows.
+    """
+    xs = sorted({x for points in series.values() for x, _ in points})
+    if max_rows and len(xs) > max_rows:
+        step = max(1, len(xs) // max_rows)
+        keep = set(xs[::step]) | {xs[-1]}
+        xs = [x for x in xs if x in keep]
+    maps: Dict[str, Dict[int, float]] = {
+        name: dict(points) for name, points in series.items()
+    }
+    names = list(series)
+    lines = [title, ""]
+    header = f"{x_label:>10} " + " ".join(f"{n:>10}" for n in names)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for x in xs:
+        cells: List[str] = []
+        for name in names:
+            y = maps[name].get(x)
+            cells.append(f"{y:>10.1f}" if y is not None else f"{'':>10}")
+        lines.append(f"{x:>10d} " + " ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,208 @@
+"""Command-line interface: ``python -m repro ...`` or ``vmplants``.
+
+Subcommands map one-to-one to the experiment drivers::
+
+    vmplants demo                 # create/query/destroy one VM
+    vmplants figure4 [--seed N]   # each paper artifact by name
+    vmplants figure5
+    vmplants figure6
+    vmplants uml [--sbuml]
+    vmplants costfn
+    vmplants textnumbers
+    vmplants ablations
+    vmplants concurrency
+    vmplants migration
+    vmplants scalability
+    vmplants resilience
+    vmplants replicas
+    vmplants all                  # everything, in order
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def _figure4(args) -> str:
+    from repro.experiments.figure4 import run_figure4
+
+    return run_figure4(seed=args.seed).render()
+
+
+def _figure5(args) -> str:
+    from repro.experiments.figure5 import run_figure5
+
+    return run_figure5(seed=args.seed).render()
+
+
+def _figure6(args) -> str:
+    from repro.experiments.figure6 import run_figure6
+
+    return run_figure6(seed=args.seed).render()
+
+
+def _uml(args) -> str:
+    if getattr(args, "sbuml", False):
+        from repro.experiments.uml import run_sbuml
+
+        return run_sbuml(seed=args.seed).render()
+    from repro.experiments.uml import run_uml
+
+    return run_uml(seed=args.seed).render()
+
+
+def _costfn(args) -> str:
+    from repro.experiments.costfn import run_costfn
+
+    return run_costfn(seed=args.seed).render()
+
+
+def _textnumbers(args) -> str:
+    from repro.experiments.textnumbers import run_textnumbers
+
+    return run_textnumbers(seed=args.seed).render()
+
+
+def _ablations(args) -> str:
+    from repro.experiments.ablations import (
+        run_clone_mode_ablation,
+        run_cost_model_ablation,
+        run_matching_ablation,
+        run_speculative_ablation,
+    )
+
+    parts = [
+        run_clone_mode_ablation(seed=args.seed).render(),
+        run_matching_ablation(seed=args.seed).render(),
+        run_speculative_ablation(seed=args.seed).render(),
+        run_cost_model_ablation(seed=args.seed).render(),
+    ]
+    return "\n\n".join(parts)
+
+
+def _concurrency(args) -> str:
+    from repro.experiments.concurrency import run_concurrency
+
+    return run_concurrency(seed=args.seed).render()
+
+
+def _migration(args) -> str:
+    from repro.experiments.migration_exp import run_migration
+
+    return run_migration(seed=args.seed).render()
+
+
+def _scalability(args) -> str:
+    from repro.experiments.scalability import run_scalability
+
+    return run_scalability(seed=args.seed).render()
+
+
+def _resilience(args) -> str:
+    from repro.experiments.resilience import run_resilience
+
+    return run_resilience(seed=args.seed).render()
+
+
+def _replicas(args) -> str:
+    from repro.experiments.concurrency import run_warehouse_replicas
+
+    return run_warehouse_replicas(seed=args.seed).render()
+
+
+def _demo(args) -> str:
+    from repro import build_testbed, experiment_request
+
+    bed = build_testbed(seed=args.seed)
+    ad = bed.run(bed.shop.create(experiment_request(args.memory)))
+    lines = [
+        f"created {ad['vmid']} on {ad['plant']}",
+        f"  image      : {ad['image_id']}",
+        f"  ip         : {ad['ip']} ({ad['network_id']})",
+        f"  clone      : {ad['clone_time']:.1f}s",
+        f"  configure  : {ad['config_time']:.1f}s",
+        f"  actions    : {ad['actions_cached']} cached, "
+        f"{ad['actions_executed']} executed",
+    ]
+    status = bed.run(bed.shop.query(str(ad["vmid"])))
+    lines.append(f"query: status={status.get('status')}")
+    final = bed.run(bed.shop.destroy(str(ad["vmid"])))
+    lines.append(
+        f"destroyed at t={final.get('collected_at'):.1f}s "
+        f"(simulated clock)"
+    )
+    return "\n".join(lines)
+
+
+_ARTIFACTS: Dict[str, Callable] = {
+    "figure4": _figure4,
+    "figure5": _figure5,
+    "figure6": _figure6,
+    "uml": _uml,
+    "costfn": _costfn,
+    "textnumbers": _textnumbers,
+    "ablations": _ablations,
+    "concurrency": _concurrency,
+    "migration": _migration,
+    "scalability": _scalability,
+    "resilience": _resilience,
+    "replicas": _replicas,
+}
+
+
+def _all(args) -> str:
+    return ("\n\n" + "=" * 70 + "\n\n").join(
+        runner(args) for runner in _ARTIFACTS.values()
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="vmplants",
+        description=(
+            "VMPlants (SC 2004) reproduction: run the demo or "
+            "regenerate any paper artifact."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="create/query/destroy one VM")
+    demo.add_argument("--seed", type=int, default=2004)
+    demo.add_argument(
+        "--memory", type=int, default=32, choices=(32, 64, 256)
+    )
+    demo.set_defaults(runner=_demo)
+
+    for name, runner in _ARTIFACTS.items():
+        cmd = sub.add_parser(name, help=f"regenerate {name}")
+        cmd.add_argument("--seed", type=int, default=2004)
+        if name == "uml":
+            cmd.add_argument(
+                "--sbuml",
+                action="store_true",
+                help="compare boot vs. SBUML checkpoint-resume cloning",
+            )
+        cmd.set_defaults(runner=runner)
+
+    everything = sub.add_parser("all", help="regenerate every artifact")
+    everything.add_argument("--seed", type=int, default=2004)
+    everything.set_defaults(runner=_all)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    print(args.runner(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,752 @@
+"""Classads: attribute stores with a matchmaking expression language.
+
+VMShop/VMPlant exchange machine descriptions as *classads* — ordered
+(attribute, value) collections in the style of Condor matchmaking
+[Raman et al., HPDC'98], which the paper adopts for VM descriptions
+and query results.  This module implements:
+
+* :class:`ClassAd` — a case-insensitive ordered attribute map whose
+  values are booleans, numbers, strings, lists, or unevaluated
+  expressions;
+* a small expression language with Condor's three-valued logic
+  (``UNDEFINED`` propagation, ``&&``/``||`` short-circuit semantics),
+  comparison and arithmetic operators, meta-equality (``=?=``,
+  ``=!=``), the ternary conditional, and cross-ad references through
+  the ``other`` scope;
+* bilateral matching: ``a.matches(b)`` evaluates ``a``'s
+  ``requirements`` expression with ``b`` bound as ``other``.
+
+Grammar (precedence low → high)::
+
+    expr     := or ('?' expr ':' expr)?
+    or       := and ('||' and)*
+    and      := meta ('&&' meta)*
+    meta     := cmp (('=?=' | '=!=') cmp)*
+    cmp      := add (('==','!=','<','<=','>','>=') add)*
+    add      := mul (('+'|'-') mul)*
+    mul      := unary (('*'|'/'|'%') unary)*
+    unary    := ('!'|'-')* atom
+    atom     := literal | reference | '(' expr ')' | list
+    reference:= IDENT ('.' IDENT)?
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.core.errors import ClassAdError
+
+__all__ = ["Undefined", "UNDEFINED", "ClassAd", "Expression", "evaluate"]
+
+
+class Undefined:
+    """Condor's UNDEFINED value (singleton)."""
+
+    _instance: Optional["Undefined"] = None
+
+    def __new__(cls) -> "Undefined":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "UNDEFINED"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: The UNDEFINED singleton.
+UNDEFINED = Undefined()
+
+Value = Union[bool, int, float, str, Undefined, List["Value"]]
+
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<float>\d+\.\d*(?:[eE][-+]?\d+)?|\.\d+(?:[eE][-+]?\d+)?|\d+[eE][-+]?\d+)
+  | (?P<int>\d+)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op>=\?=|=!=|==|!=|<=|>=|\|\||&&|[-+*/%!<>()\[\],.?:;=])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"true", "false", "undefined"}
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise ClassAdError(
+                f"lexical error at {text[pos:pos + 10]!r}"
+            )
+        pos = m.end()
+        kind = m.lastgroup
+        if kind == "ws":
+            continue
+        tokens.append((kind, m.group()))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+
+class _Node:
+    def eval(self, scope: "_Scope") -> Value:
+        raise NotImplementedError
+
+
+class _Literal(_Node):
+    def __init__(self, value: Value):
+        self.value = value
+
+    def eval(self, scope: "_Scope") -> Value:
+        return self.value
+
+
+class _Ref(_Node):
+    def __init__(self, scope_name: Optional[str], attr: str):
+        self.scope_name = scope_name.lower() if scope_name else None
+        self.attr = attr
+
+    def eval(self, scope: "_Scope") -> Value:
+        return scope.lookup(self.scope_name, self.attr)
+
+
+class _ListNode(_Node):
+    def __init__(self, items: List[_Node]):
+        self.items = items
+
+    def eval(self, scope: "_Scope") -> Value:
+        return [item.eval(scope) for item in self.items]
+
+
+class _Unary(_Node):
+    def __init__(self, op: str, operand: _Node):
+        self.op = op
+        self.operand = operand
+
+    def eval(self, scope: "_Scope") -> Value:
+        val = self.operand.eval(scope)
+        if isinstance(val, Undefined):
+            return UNDEFINED
+        if self.op == "!":
+            if isinstance(val, bool):
+                return not val
+            raise ClassAdError(f"! applied to non-boolean {val!r}")
+        if self.op == "-":
+            if isinstance(val, bool) or not isinstance(val, (int, float)):
+                raise ClassAdError(f"- applied to non-number {val!r}")
+            return -val
+        raise ClassAdError(f"unknown unary {self.op}")  # pragma: no cover
+
+
+def _is_number(val: Value) -> bool:
+    return isinstance(val, (int, float)) and not isinstance(val, bool)
+
+
+class _Binary(_Node):
+    def __init__(self, op: str, left: _Node, right: _Node):
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def eval(self, scope: "_Scope") -> Value:  # noqa: C901
+        op = self.op
+        if op == "&&":
+            lhs = self.left.eval(scope)
+            if lhs is False:
+                return False
+            rhs = self.right.eval(scope)
+            if rhs is False:
+                return False
+            if isinstance(lhs, Undefined) or isinstance(rhs, Undefined):
+                return UNDEFINED
+            if lhs is True and rhs is True:
+                return True
+            raise ClassAdError("&& applied to non-boolean")
+        if op == "||":
+            lhs = self.left.eval(scope)
+            if lhs is True:
+                return True
+            rhs = self.right.eval(scope)
+            if rhs is True:
+                return True
+            if isinstance(lhs, Undefined) or isinstance(rhs, Undefined):
+                return UNDEFINED
+            if lhs is False and rhs is False:
+                return False
+            raise ClassAdError("|| applied to non-boolean")
+
+        lhs = self.left.eval(scope)
+        rhs = self.right.eval(scope)
+
+        if op == "=?=":
+            return type(lhs) is type(rhs) and lhs == rhs
+        if op == "=!=":
+            return not (type(lhs) is type(rhs) and lhs == rhs)
+
+        if isinstance(lhs, Undefined) or isinstance(rhs, Undefined):
+            return UNDEFINED
+
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            if _is_number(lhs) and _is_number(rhs):
+                pass
+            elif isinstance(lhs, str) and isinstance(rhs, str):
+                # Condor string comparison is case-insensitive.
+                lhs, rhs = lhs.lower(), rhs.lower()
+            elif isinstance(lhs, bool) and isinstance(rhs, bool):
+                if op not in ("==", "!="):
+                    raise ClassAdError("ordering applied to booleans")
+            else:
+                if op == "==":
+                    return False
+                if op == "!=":
+                    return True
+                raise ClassAdError(
+                    f"cannot compare {lhs!r} with {rhs!r}"
+                )
+            return {
+                "==": lambda a, b: a == b,
+                "!=": lambda a, b: a != b,
+                "<": lambda a, b: a < b,
+                "<=": lambda a, b: a <= b,
+                ">": lambda a, b: a > b,
+                ">=": lambda a, b: a >= b,
+            }[op](lhs, rhs)
+
+        if op in ("+", "-", "*", "/", "%"):
+            if op == "+" and isinstance(lhs, str) and isinstance(rhs, str):
+                return lhs + rhs
+            if not (_is_number(lhs) and _is_number(rhs)):
+                raise ClassAdError(
+                    f"arithmetic {op} on non-numbers {lhs!r}, {rhs!r}"
+                )
+            if op == "+":
+                return lhs + rhs
+            if op == "-":
+                return lhs - rhs
+            if op == "*":
+                return lhs * rhs
+            if op == "/":
+                if rhs == 0:
+                    raise ClassAdError("division by zero")
+                result = lhs / rhs
+                if isinstance(lhs, int) and isinstance(rhs, int):
+                    return int(lhs // rhs) if lhs % rhs == 0 else result
+                return result
+            if op == "%":
+                if rhs == 0:
+                    raise ClassAdError("modulo by zero")
+                return lhs % rhs
+        raise ClassAdError(f"unknown operator {op}")  # pragma: no cover
+
+
+def _fn_size(value: Value) -> Value:
+    if isinstance(value, (str, list)):
+        return len(value)
+    raise ClassAdError("size() requires a string or list")
+
+
+def _fn_member(needle: Value, haystack: Value) -> Value:
+    if not isinstance(haystack, list):
+        raise ClassAdError("member() requires a list second argument")
+    for item in haystack:
+        if isinstance(item, str) and isinstance(needle, str):
+            if item.lower() == needle.lower():
+                return True
+        elif type(item) is type(needle) and item == needle:
+            return True
+    return False
+
+
+def _numeric_fn(name, fn):
+    def wrapped(*args: Value) -> Value:
+        for arg in args:
+            if not _is_number(arg):
+                raise ClassAdError(f"{name}() requires numbers")
+        return fn(*args)
+
+    return wrapped
+
+
+#: Built-in function table (Condor-style, case-insensitive names).
+_FUNCTIONS: Dict[str, Any] = {
+    "floor": _numeric_fn("floor", lambda x: int(x // 1)),
+    "ceiling": _numeric_fn(
+        "ceiling", lambda x: int(-((-x) // 1))
+    ),
+    "round": _numeric_fn("round", lambda x: int(x + 0.5) if x >= 0
+                         else -int(-x + 0.5)),
+    "min": _numeric_fn("min", min),
+    "max": _numeric_fn("max", max),
+    "strcat": lambda *args: "".join(
+        a if isinstance(a, str) else _format_value(a) for a in args
+    ),
+    "tolower": lambda s: _require_str("toLower", s).lower(),
+    "toupper": lambda s: _require_str("toUpper", s).upper(),
+    "size": _fn_size,
+    "member": _fn_member,
+}
+
+
+def _require_str(name: str, value: Value) -> str:
+    if not isinstance(value, str):
+        raise ClassAdError(f"{name}() requires a string")
+    return value
+
+
+class _Call(_Node):
+    def __init__(self, name: str, args: List[_Node]):
+        self.name = name.lower()
+        self.args = args
+        if self.name not in _FUNCTIONS:
+            raise ClassAdError(f"unknown function {name!r}")
+
+    def eval(self, scope: "_Scope") -> Value:
+        values = [arg.eval(scope) for arg in self.args]
+        if any(isinstance(v, Undefined) for v in values):
+            return UNDEFINED
+        try:
+            return _FUNCTIONS[self.name](*values)
+        except TypeError as exc:
+            raise ClassAdError(
+                f"{self.name}(): bad arity ({len(values)} args)"
+            ) from exc
+
+
+class _Ternary(_Node):
+    def __init__(self, cond: _Node, then: _Node, orelse: _Node):
+        self.cond = cond
+        self.then = then
+        self.orelse = orelse
+
+    def eval(self, scope: "_Scope") -> Value:
+        cond = self.cond.eval(scope)
+        if isinstance(cond, Undefined):
+            return UNDEFINED
+        if not isinstance(cond, bool):
+            raise ClassAdError("ternary condition must be boolean")
+        return self.then.eval(scope) if cond else self.orelse.eval(scope)
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str]]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Tuple[str, str]:
+        return self.tokens[self.pos]
+
+    def next(self) -> Tuple[str, str]:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def expect(self, text: str) -> None:
+        kind, value = self.next()
+        if value != text:
+            raise ClassAdError(f"expected {text!r}, got {value!r}")
+
+    def parse_expr(self) -> _Node:
+        node = self.parse_or()
+        if self.peek()[1] == "?":
+            self.next()
+            then = self.parse_expr()
+            self.expect(":")
+            orelse = self.parse_expr()
+            return _Ternary(node, then, orelse)
+        return node
+
+    def _binary_chain(self, sub, ops) -> _Node:
+        node = sub()
+        while self.peek()[1] in ops:
+            op = self.next()[1]
+            node = _Binary(op, node, sub())
+        return node
+
+    def parse_or(self) -> _Node:
+        return self._binary_chain(self.parse_and, ("||",))
+
+    def parse_and(self) -> _Node:
+        return self._binary_chain(self.parse_meta, ("&&",))
+
+    def parse_meta(self) -> _Node:
+        return self._binary_chain(self.parse_cmp, ("=?=", "=!="))
+
+    def parse_cmp(self) -> _Node:
+        return self._binary_chain(
+            self.parse_add, ("==", "!=", "<", "<=", ">", ">=")
+        )
+
+    def parse_add(self) -> _Node:
+        return self._binary_chain(self.parse_mul, ("+", "-"))
+
+    def parse_mul(self) -> _Node:
+        return self._binary_chain(self.parse_unary, ("*", "/", "%"))
+
+    def parse_unary(self) -> _Node:
+        if self.peek()[1] in ("!", "-"):
+            op = self.next()[1]
+            return _Unary(op, self.parse_unary())
+        return self.parse_atom()
+
+    def parse_atom(self) -> _Node:
+        kind, value = self.next()
+        if kind == "int":
+            return _Literal(int(value))
+        if kind == "float":
+            return _Literal(float(value))
+        if kind == "string":
+            return _Literal(_unescape(value[1:-1]))
+        if kind == "ident":
+            low = value.lower()
+            if low == "true":
+                return _Literal(True)
+            if low == "false":
+                return _Literal(False)
+            if low == "undefined":
+                return _Literal(UNDEFINED)
+            if self.peek()[1] == "(":
+                self.next()
+                args: List[_Node] = []
+                if self.peek()[1] != ")":
+                    args.append(self.parse_expr())
+                    while self.peek()[1] == ",":
+                        self.next()
+                        args.append(self.parse_expr())
+                self.expect(")")
+                return _Call(value, args)
+            if self.peek()[1] == ".":
+                self.next()
+                kind2, attr = self.next()
+                if kind2 != "ident":
+                    raise ClassAdError(f"expected attribute after {value}.")
+                return _Ref(value, attr)
+            return _Ref(None, value)
+        if value == "(":
+            node = self.parse_expr()
+            self.expect(")")
+            return node
+        if value == "[":
+            items: List[_Node] = []
+            if self.peek()[1] != "]":
+                items.append(self.parse_expr())
+                while self.peek()[1] == ",":
+                    self.next()
+                    items.append(self.parse_expr())
+            self.expect("]")
+            return _ListNode(items)
+        raise ClassAdError(f"unexpected token {value!r}")
+
+
+_UNESCAPE_MAP = {'"': '"', "\\": "\\", "n": "\n", "t": "\t", "r": "\r"}
+
+
+def _unescape(body: str) -> str:
+    # Single pass so an escaped backslash can never re-combine with a
+    # following character into a second escape.
+    return re.sub(
+        r"\\(.)",
+        lambda m: _UNESCAPE_MAP.get(m.group(1), m.group(0)),
+        body,
+    )
+
+
+def _escape(body: str) -> str:
+    return (
+        body.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+        .replace("\t", "\\t")
+        .replace("\r", "\\r")
+    )
+
+
+def _fold_constant(node: _Node) -> _Node:
+    """Fold ``-<number>`` (arbitrarily nested) into a literal node."""
+    if isinstance(node, _Unary) and node.op == "-":
+        inner = _fold_constant(node.operand)
+        if isinstance(inner, _Literal) and _is_number(inner.value):
+            return _Literal(-inner.value)
+    if isinstance(node, _ListNode):
+        return _ListNode([_fold_constant(i) for i in node.items])
+    return node
+
+
+class Expression:
+    """A parsed, reusable classad expression."""
+
+    def __init__(self, text: str):
+        self.text = text
+        parser = _Parser(_tokenize(text))
+        self._ast = parser.parse_expr()
+        if parser.peek()[0] != "eof":
+            raise ClassAdError(
+                f"trailing input after expression: {parser.peek()[1]!r}"
+            )
+
+    def evaluate(
+        self,
+        ad: Optional["ClassAd"] = None,
+        other: Optional["ClassAd"] = None,
+    ) -> Value:
+        """Evaluate against ``ad`` (``self``/``my``) and ``other``."""
+        return self._ast.eval(_Scope(ad, other))
+
+    def __repr__(self) -> str:
+        return f"Expression({self.text!r})"
+
+
+class _Scope:
+    """Name-resolution context: the owning ad plus the matched ad."""
+
+    def __init__(self, ad: Optional["ClassAd"], other: Optional["ClassAd"]):
+        self.ad = ad
+        self.other = other
+        self._depth = 0
+
+    def lookup(self, scope_name: Optional[str], attr: str) -> Value:
+        if self._depth > 32:
+            raise ClassAdError("expression recursion too deep")
+        if scope_name in ("other", "target"):
+            source = self.other
+        elif scope_name in ("my", "self") or scope_name is None:
+            source = self.ad
+        else:
+            raise ClassAdError(f"unknown scope {scope_name!r}")
+        if source is None:
+            return UNDEFINED
+        raw = source.lookup(attr)
+        if isinstance(raw, Expression):
+            self._depth += 1
+            try:
+                # Attribute-valued expressions evaluate in their own
+                # ad's scope, keeping ``other`` bound.
+                return raw._ast.eval(
+                    _Scope(source, self.other if source is self.ad else self.ad)
+                )
+            finally:
+                self._depth -= 1
+        if scope_name is None and raw is UNDEFINED and self.other is not None:
+            # Condor falls through to the target ad for bare names.
+            raw2 = self.other.lookup(attr)
+            if isinstance(raw2, Expression):
+                self._depth += 1
+                try:
+                    return raw2._ast.eval(_Scope(self.other, self.ad))
+                finally:
+                    self._depth -= 1
+            return raw2
+        return raw
+
+
+def evaluate(
+    text: str,
+    ad: Optional["ClassAd"] = None,
+    other: Optional["ClassAd"] = None,
+) -> Value:
+    """Parse and evaluate ``text`` in one call."""
+    return Expression(text).evaluate(ad, other)
+
+
+class ClassAd:
+    """Case-insensitive ordered attribute map with lazy expressions.
+
+    Values set via :meth:`__setitem__` are stored verbatim; values set
+    via :meth:`set_expression` are parsed and evaluated on access
+    through :meth:`eval`.
+    """
+
+    def __init__(self, attrs: Optional[Dict[str, Any]] = None):
+        self._attrs: Dict[str, Value] = {}
+        self._names: Dict[str, str] = {}  # lower → original spelling
+        for key, value in (attrs or {}).items():
+            self[key] = value
+
+    # -- mapping interface -------------------------------------------------
+    def __setitem__(self, key: str, value: Any) -> None:
+        if isinstance(value, Expression):
+            pass
+        elif isinstance(value, (bool, int, float, str, Undefined)):
+            pass
+        elif isinstance(value, (list, tuple)):
+            value = [self._check_scalar(v) for v in value]
+        else:
+            raise ClassAdError(
+                f"unsupported classad value type {type(value).__name__}"
+            )
+        low = key.lower()
+        self._names[low] = key
+        self._attrs[low] = value
+
+    @staticmethod
+    def _check_scalar(value: Any) -> Value:
+        if isinstance(value, (bool, int, float, str, Undefined)):
+            return value
+        raise ClassAdError(
+            f"unsupported list element type {type(value).__name__}"
+        )
+
+    def set_expression(self, key: str, text: str) -> None:
+        """Store ``text`` as a lazily evaluated expression."""
+        self[key] = Expression(text)
+
+    def __getitem__(self, key: str) -> Value:
+        val = self._attrs.get(key.lower(), UNDEFINED)
+        if isinstance(val, Undefined):
+            raise KeyError(key)
+        return val
+
+    def lookup(self, key: str) -> Value:
+        """Like ``[]`` but returns UNDEFINED instead of raising."""
+        return self._attrs.get(key.lower(), UNDEFINED)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        val = self._attrs.get(key.lower(), UNDEFINED)
+        return default if isinstance(val, Undefined) else val
+
+    def __contains__(self, key: str) -> bool:
+        return key.lower() in self._attrs
+
+    def __delitem__(self, key: str) -> None:
+        low = key.lower()
+        del self._attrs[low]
+        del self._names[low]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names.values())
+
+    def __len__(self) -> int:
+        return len(self._attrs)
+
+    def items(self) -> Iterator[Tuple[str, Value]]:
+        for low, name in self._names.items():
+            yield name, self._attrs[low]
+
+    def update(self, other: Union["ClassAd", Dict[str, Any]]) -> None:
+        source = other.items() if isinstance(other, ClassAd) else other.items()
+        for key, value in source:
+            self[key] = value
+
+    def copy(self) -> "ClassAd":
+        dup = ClassAd()
+        dup._attrs = dict(self._attrs)
+        dup._names = dict(self._names)
+        return dup
+
+    # -- evaluation ---------------------------------------------------------
+    def eval(self, key: str, other: Optional["ClassAd"] = None) -> Value:
+        """Evaluate attribute ``key`` (expressions resolved)."""
+        raw = self.lookup(key)
+        if isinstance(raw, Expression):
+            return raw.evaluate(self, other)
+        return raw
+
+    def matches(self, other: "ClassAd") -> bool:
+        """Unilateral match: does ``self.requirements`` accept ``other``?
+
+        A missing requirements attribute accepts everything; an
+        UNDEFINED result rejects (Condor semantics).
+        """
+        raw = self.lookup("requirements")
+        if isinstance(raw, Undefined):
+            return True
+        if not isinstance(raw, Expression):
+            return bool(raw is True)
+        result = raw.evaluate(self, other)
+        return result is True
+
+    def symmetric_match(self, other: "ClassAd") -> bool:
+        """Bilateral match: both ads' requirements accept each other."""
+        return self.matches(other) and other.matches(self)
+
+    # -- serialization --------------------------------------------------------
+    def to_string(self) -> str:
+        """Condor-style ``[a = 1; b = "x"]`` text form."""
+        parts = []
+        for name, value in self.items():
+            parts.append(f"{name} = {_format_value(value)}")
+        return "[" + "; ".join(parts) + "]"
+
+    @classmethod
+    def from_string(cls, text: str) -> "ClassAd":
+        """Parse the text form produced by :meth:`to_string`."""
+        text = text.strip()
+        if not (text.startswith("[") and text.endswith("]")):
+            raise ClassAdError("classad text must be bracketed")
+        parser = _Parser(_tokenize(text[1:-1]))
+        ad = cls()
+        while parser.peek()[0] != "eof":
+            kind, name = parser.next()
+            if kind != "ident":
+                raise ClassAdError(f"expected attribute name, got {name!r}")
+            parser.expect("=")
+            start = parser.pos
+            node = parser.parse_expr()
+            end = parser.pos
+            # Literals (including negated numbers) are stored as
+            # values; anything else as an expression (re-rendered from
+            # the consumed tokens).
+            node = _fold_constant(node)
+            if isinstance(node, _Literal):
+                ad[name] = node.value
+            elif isinstance(node, _ListNode) and all(
+                isinstance(i, _Literal) for i in node.items
+            ):
+                ad[name] = [i.value for i in node.items]
+            else:
+                toks = [t[1] for t in parser.tokens[start:end]]
+                ad.set_expression(name, " ".join(toks))
+            if parser.peek()[1] == ";":
+                parser.next()
+        return ad
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ClassAd):
+            return NotImplemented
+        mine = {
+            k: (v.text if isinstance(v, Expression) else v)
+            for k, v in self._attrs.items()
+        }
+        theirs = {
+            k: (v.text if isinstance(v, Expression) else v)
+            for k, v in other._attrs.items()
+        }
+        return mine == theirs
+
+    def __repr__(self) -> str:
+        return f"ClassAd({self.to_string()})"
+
+
+def _format_value(value: Value) -> str:
+    if isinstance(value, Expression):
+        return value.text
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, Undefined):
+        return "undefined"
+    if isinstance(value, str):
+        return f'"{_escape(value)}"'
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_format_value(v) for v in value) + "]"
+    return repr(value)

@@ -1,0 +1,367 @@
+"""Configuration DAGs (Section 3.1).
+
+A :class:`ConfigDAG` represents the software-configuration portion of
+a VM creation request: action nodes connected by directed edges that
+establish a partial execution order.  The special START and FINISH
+nodes are implicit — every source node is an immediate successor of
+START, every sink node an immediate predecessor of FINISH.  START
+denotes a *blank* machine; the warehouse's golden images correspond to
+downward-closed ("prefix") subsets of a DAG's actions.
+
+Each action node carries an implicit error node realized by its
+:class:`~repro.core.actions.ErrorPolicy`; clients may additionally
+attach an explicit error-handling sub-graph (itself a ``ConfigDAG``)
+to any action node.
+
+All iteration orders are deterministic (insertion order, with
+lexicographic tie-breaking in the topological sort) so runs are
+reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.core.actions import Action, ActionScope
+from repro.core.errors import DAGError
+
+__all__ = ["ConfigDAG", "START", "FINISH"]
+
+#: Reserved name of the implicit start node (blank machine).
+START = "__start__"
+#: Reserved name of the implicit finish node.
+FINISH = "__finish__"
+
+_RESERVED = frozenset({START, FINISH})
+
+
+class ConfigDAG:
+    """A directed acyclic graph of configuration actions."""
+
+    def __init__(self) -> None:
+        self._actions: Dict[str, Action] = {}
+        self._succ: Dict[str, List[str]] = {}
+        self._pred: Dict[str, List[str]] = {}
+        self._handlers: Dict[str, "ConfigDAG"] = {}
+
+    # -- construction ----------------------------------------------------
+    def add_action(self, action: Action) -> "ConfigDAG":
+        """Add an action node.  Names must be unique and not reserved."""
+        if action.name in _RESERVED:
+            raise DAGError(f"{action.name!r} is a reserved node name")
+        if action.name in self._actions:
+            raise DAGError(f"duplicate action {action.name!r}")
+        self._actions[action.name] = action
+        self._succ[action.name] = []
+        self._pred[action.name] = []
+        return self
+
+    def add_edge(self, before: str, after: str) -> "ConfigDAG":
+        """Require ``before`` to complete before ``after`` starts."""
+        for node in (before, after):
+            if node not in self._actions:
+                raise DAGError(f"unknown action {node!r}")
+        if before == after:
+            raise DAGError(f"self-edge on {before!r}")
+        if after in self._succ[before]:
+            return self  # idempotent
+        if self.is_before(after, before):
+            raise DAGError(
+                f"edge {before!r}->{after!r} would create a cycle"
+            )
+        self._succ[before].append(after)
+        self._pred[after].append(before)
+        return self
+
+    def attach_handler(self, action: str, handler: "ConfigDAG") -> "ConfigDAG":
+        """Attach an explicit error-handling sub-graph to ``action``."""
+        if action not in self._actions:
+            raise DAGError(f"unknown action {action!r}")
+        handler.validate()
+        self._handlers[action] = handler
+        return self
+
+    @classmethod
+    def from_sequence(cls, actions: Iterable[Action]) -> "ConfigDAG":
+        """Build a totally ordered (chain) DAG — the common case."""
+        dag = cls()
+        prev: Optional[str] = None
+        for action in actions:
+            dag.add_action(action)
+            if prev is not None:
+                dag.add_edge(prev, action.name)
+            prev = action.name
+        return dag
+
+    # -- inspection --------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._actions)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._actions
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._actions)
+
+    @property
+    def actions(self) -> Mapping[str, Action]:
+        """Read-only view of name → action."""
+        return dict(self._actions)
+
+    @property
+    def handlers(self) -> Mapping[str, "ConfigDAG"]:
+        """Explicit error-handling sub-graphs, keyed by action name."""
+        return dict(self._handlers)
+
+    def action(self, name: str) -> Action:
+        """Look up an action by name."""
+        try:
+            return self._actions[name]
+        except KeyError:
+            raise DAGError(f"unknown action {name!r}") from None
+
+    def handler_for(self, name: str) -> Optional["ConfigDAG"]:
+        """The explicit error handler for ``name``, if any."""
+        return self._handlers.get(name)
+
+    def edges(self) -> List[Tuple[str, str]]:
+        """All edges in insertion order."""
+        return [
+            (u, v) for u in self._actions for v in self._succ[u]
+        ]
+
+    def successors(self, name: str) -> List[str]:
+        """Immediate successors of ``name``."""
+        self.action(name)
+        return list(self._succ[name])
+
+    def predecessors(self, name: str) -> List[str]:
+        """Immediate predecessors of ``name``."""
+        self.action(name)
+        return list(self._pred[name])
+
+    def sources(self) -> List[str]:
+        """Actions with no predecessors (successors of START)."""
+        return [n for n in self._actions if not self._pred[n]]
+
+    def sinks(self) -> List[str]:
+        """Actions with no successors (predecessors of FINISH)."""
+        return [n for n in self._actions if not self._succ[n]]
+
+    def ancestors(self, name: str) -> Set[str]:
+        """All actions ordered strictly before ``name``."""
+        self.action(name)
+        seen: Set[str] = set()
+        stack = list(self._pred[name])
+        while stack:
+            node = stack.pop()
+            if node not in seen:
+                seen.add(node)
+                stack.extend(self._pred[node])
+        return seen
+
+    def descendants(self, name: str) -> Set[str]:
+        """All actions ordered strictly after ``name``."""
+        self.action(name)
+        seen: Set[str] = set()
+        stack = list(self._succ[name])
+        while stack:
+            node = stack.pop()
+            if node not in seen:
+                seen.add(node)
+                stack.extend(self._succ[node])
+        return seen
+
+    def is_before(self, first: str, second: str) -> bool:
+        """True iff the DAG orders ``first`` strictly before ``second``."""
+        return second in self.descendants(first)
+
+    # -- validation and order ------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`DAGError` if violated.
+
+        Cycles are prevented at ``add_edge`` time, so this re-checks
+        with an independent algorithm (Kahn count) as defence in depth
+        and validates attached handlers.
+        """
+        order = self.topological_sort()
+        if len(order) != len(self._actions):
+            raise DAGError("cycle detected")  # pragma: no cover - guarded
+        for handler in self._handlers.values():
+            handler.validate()
+
+    def topological_sort(self) -> List[str]:
+        """Deterministic topological order (Kahn, lexicographic ties).
+
+        This is the order in which the PPP schedules residual actions
+        after cloning (Figure 3, step 3).
+        """
+        indeg = {n: len(self._pred[n]) for n in self._actions}
+        ready = sorted(n for n, d in indeg.items() if d == 0)
+        order: List[str] = []
+        import heapq
+
+        heapq.heapify(ready)
+        while ready:
+            node = heapq.heappop(ready)
+            order.append(node)
+            for nxt in self._succ[node]:
+                indeg[nxt] -= 1
+                if indeg[nxt] == 0:
+                    heapq.heappush(ready, nxt)
+        if len(order) != len(self._actions):
+            raise DAGError("cycle detected")
+        return order
+
+    # -- prefix machinery (matching support) ----------------------------------
+    def is_prefix_set(self, names: Iterable[str]) -> bool:
+        """True iff ``names`` is a downward-closed subset of this DAG.
+
+        A golden image whose performed operations form such a set can
+        serve as the cloning base (Prefix Test, Section 3.2).
+        """
+        chosen = set(names)
+        if not chosen <= set(self._actions):
+            return False
+        for name in chosen:
+            if not set(self._pred[name]) <= chosen:
+                return False
+        return True
+
+    def prefixes(self) -> Iterator[FrozenSet[str]]:
+        """Enumerate all downward-closed subsets (antichains' ideals).
+
+        Exponential in the width of the DAG; intended for tests and
+        small warehouse-seeding utilities, not hot paths.
+        """
+        order = self.topological_sort()
+
+        def extend(idx: int, current: FrozenSet[str]) -> Iterator[FrozenSet[str]]:
+            if idx == len(order):
+                yield current
+                return
+            node = order[idx]
+            # Without node: none of its descendants may be chosen, but
+            # enumeration over a topological order guarantees that by
+            # the prefix check below.
+            yield from extend(idx + 1, current)
+            if set(self._pred[node]) <= current:
+                yield from extend(idx + 1, current | {node})
+
+        seen: Set[FrozenSet[str]] = set()
+        for subset in extend(0, frozenset()):
+            if self.is_prefix_set(subset) and subset not in seen:
+                seen.add(subset)
+                yield subset
+
+    def residual_after(self, performed: Iterable[str]) -> List[str]:
+        """Topologically ordered actions still to run after ``performed``.
+
+        ``performed`` must be a prefix set; these are the actions the
+        PPP executes on the clone (Figure 3, step 5).
+        """
+        done = set(performed)
+        if not self.is_prefix_set(done):
+            raise DAGError("performed set is not a prefix of this DAG")
+        return [n for n in self.topological_sort() if n not in done]
+
+    def subdag(self, names: Iterable[str]) -> "ConfigDAG":
+        """Induced sub-DAG over ``names`` (handlers carried along)."""
+        chosen = set(names)
+        sub = ConfigDAG()
+        for name in self._actions:
+            if name in chosen:
+                sub.add_action(self._actions[name])
+        for u, v in self.edges():
+            if u in chosen and v in chosen:
+                sub.add_edge(u, v)
+        for name, handler in self._handlers.items():
+            if name in chosen:
+                sub.attach_handler(name, handler)
+        return sub
+
+    # -- structural equality --------------------------------------------------
+    def structure(self) -> Tuple:
+        """Canonical hashable structure (for equality and hashing)."""
+        return (
+            tuple(sorted(a.signature for a in self._actions.values())),
+            tuple(sorted(self.edges())),
+            tuple(
+                sorted(
+                    (name, handler.structure())
+                    for name, handler in self._handlers.items()
+                )
+            ),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConfigDAG):
+            return NotImplemented
+        return self.structure() == other.structure()
+
+    def __hash__(self) -> int:
+        return hash(self.structure())
+
+    def __repr__(self) -> str:
+        return (
+            f"<ConfigDAG {len(self._actions)} actions,"
+            f" {len(self.edges())} edges>"
+        )
+
+    # -- rendering -------------------------------------------------------------
+    def to_dot(self, name: str = "config") -> str:
+        """Graphviz dot rendering (START/FINISH shown explicitly).
+
+        Guest actions render as ellipses, host actions as boxes;
+        actions with explicit error handlers carry a dashed border.
+        """
+        lines = [f"digraph {name} {{", "  rankdir=LR;"]
+        lines.append('  "__start__" [label="START", shape=circle];')
+        lines.append('  "__finish__" [label="FINISH", shape=doublecircle];')
+        for node, action in self._actions.items():
+            shape = (
+                "box" if action.scope is ActionScope.HOST else "ellipse"
+            )
+            style = (
+                ', style="dashed"' if node in self._handlers else ""
+            )
+            lines.append(
+                f'  "{node}" [label="{node}", shape={shape}{style}];'
+            )
+        for source in self.sources():
+            lines.append(f'  "__start__" -> "{source}";')
+        for u, v in self.edges():
+            lines.append(f'  "{u}" -> "{v}";')
+        for sink in self.sinks():
+            lines.append(f'  "{sink}" -> "__finish__";')
+        if not self._actions:
+            lines.append('  "__start__" -> "__finish__";')
+        lines.append("}")
+        return "\n".join(lines)
+
+    # -- convenience -----------------------------------------------------------
+    def guest_actions(self) -> List[str]:
+        """Names of guest-scoped actions in topological order."""
+        return [
+            n
+            for n in self.topological_sort()
+            if self._actions[n].scope is ActionScope.GUEST
+        ]
+
+    def host_actions(self) -> List[str]:
+        """Names of host-scoped actions in topological order."""
+        return [
+            n
+            for n in self.topological_sort()
+            if self._actions[n].scope is ActionScope.HOST
+        ]

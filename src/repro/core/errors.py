@@ -1,0 +1,65 @@
+"""Exception hierarchy for the VMPlants reproduction."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "DAGError",
+    "ClassAdError",
+    "MatchError",
+    "ConfigurationError",
+    "ProtocolError",
+    "WarehouseError",
+    "PlantError",
+    "ShopError",
+    "VNetError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class DAGError(ReproError):
+    """Malformed configuration DAG (cycle, unknown node, duplicate)."""
+
+
+class ClassAdError(ReproError):
+    """Classad parse or evaluation failure."""
+
+
+class MatchError(ReproError):
+    """Golden-image matching could not be performed."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration action failed during VM production.
+
+    Carries the name of the failing action and any partial results so a
+    caller (or an error-handling sub-graph) can react.
+    """
+
+    def __init__(self, action: str, message: str, results=None):
+        super().__init__(f"action {action!r}: {message}")
+        self.action = action
+        self.results = list(results or [])
+
+
+class ProtocolError(ReproError):
+    """Malformed service request/response."""
+
+
+class WarehouseError(ReproError):
+    """VM Warehouse failure (missing image, publish conflict)."""
+
+
+class PlantError(ReproError):
+    """VMPlant-level failure (no capacity, unknown VM)."""
+
+
+class ShopError(ReproError):
+    """VMShop-level failure (no bids, unknown VMID)."""
+
+
+class VNetError(ReproError):
+    """Virtual-networking failure (host-only network exhaustion)."""

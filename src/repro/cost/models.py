@@ -1,0 +1,181 @@
+"""Cost models behind the VMShop bidding protocol.
+
+The bidding protocol represents creation costs "generically as
+numbers" (Section 3.1); a plant declines a request by returning no bid
+(``None`` here).  Two concrete models from the paper:
+
+* :class:`NetworkComputeCost` — Section 3.4: a one-time *network cost*
+  charged only when the request's client domain needs a fresh
+  host-only network, plus a *compute-cycles cost* proportional to the
+  number of VMs already operating on the plant.  With the paper's
+  parameters (network 50, compute 4/VM) the shop keeps choosing the
+  same plant for one domain until its 13th VM, when the accumulated
+  compute cost finally exceeds a competitor's network cost.
+* :class:`MemoryAvailableCost` — Section 4.1's prototype model, based
+  on the amount of host memory still available for cloned VMs; the
+  emptier plant bids lower, producing load balancing.
+
+Models are stateless: they read plant state through the small
+:class:`PlantView` protocol, so the same model instance can serve many
+plants.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence
+
+from repro.core.spec import CreateRequest
+
+__all__ = [
+    "PlantView",
+    "CostModel",
+    "NetworkComputeCost",
+    "MemoryAvailableCost",
+    "CompositeCost",
+]
+
+
+class PlantView:
+    """What a cost model may observe about a plant.
+
+    Structural protocol implemented by
+    :class:`~repro.plant.vmplant.VMPlant`.
+    """
+
+    def active_vm_count(self) -> int:
+        """VMs currently operating on the plant."""
+        raise NotImplementedError
+
+    def committed_memory_mb(self) -> int:
+        """Aggregate guest memory of active VMs."""
+        raise NotImplementedError
+
+    def host_memory_mb(self) -> int:
+        """Physical memory available to the VMM on this host."""
+        raise NotImplementedError
+
+    def vm_capacity(self) -> Optional[int]:
+        """Maximum concurrent VMs (None = unbounded)."""
+        raise NotImplementedError
+
+    def network_would_be_fresh(self, domain: str) -> bool:
+        """Would this domain require a new host-only network?"""
+        raise NotImplementedError
+
+    def network_has_capacity(self, domain: str) -> bool:
+        """Can this domain's VM be attached to a host-only network?"""
+        raise NotImplementedError
+
+
+class CostModel(ABC):
+    """Maps (plant state, request) to a bid."""
+
+    @abstractmethod
+    def estimate(
+        self, plant: PlantView, request: CreateRequest
+    ) -> Optional[float]:
+        """The plant's bid for the request; None = cannot host."""
+
+    @staticmethod
+    def _admissible(plant: PlantView, request: CreateRequest) -> bool:
+        """Common admission checks shared by the concrete models."""
+        cap = plant.vm_capacity()
+        if cap is not None and plant.active_vm_count() >= cap:
+            return False
+        if not plant.network_has_capacity(request.network.domain):
+            return False
+        return True
+
+
+class NetworkComputeCost(CostModel):
+    """Section 3.4: one-time network cost + per-VM compute cost."""
+
+    def __init__(
+        self, network_cost: float = 50.0, compute_cost_per_vm: float = 4.0
+    ):
+        if network_cost < 0 or compute_cost_per_vm < 0:
+            raise ValueError("costs must be non-negative")
+        self.network_cost = network_cost
+        self.compute_cost_per_vm = compute_cost_per_vm
+
+    def estimate(
+        self, plant: PlantView, request: CreateRequest
+    ) -> Optional[float]:
+        if not self._admissible(plant, request):
+            return None
+        cost = self.compute_cost_per_vm * plant.active_vm_count()
+        if plant.network_would_be_fresh(request.network.domain):
+            cost += self.network_cost
+        return cost
+
+
+class MemoryAvailableCost(CostModel):
+    """Section 4.1 prototype: bid by host-memory headroom.
+
+    The bid is the fraction of host memory that would be committed
+    after hosting the request, scaled to ``scale``.  Hosted VMs may
+    *overcommit* host memory — the paper's 64 MB experiment runs 16
+    clones (>1 GB of guest memory) per 1.5 GB host, paying for it with
+    longer cloning times — so a plant only declines beyond the
+    ``overcommit`` factor.
+    """
+
+    def __init__(
+        self,
+        scale: float = 100.0,
+        reserve_mb: int = 256,
+        overcommit: float = 2.0,
+    ):
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        if reserve_mb < 0:
+            raise ValueError("reserve_mb must be non-negative")
+        if overcommit < 1.0:
+            raise ValueError("overcommit must be >= 1.0")
+        self.scale = scale
+        #: Memory reserved for the host OS and the VMM itself.
+        self.reserve_mb = reserve_mb
+        self.overcommit = overcommit
+
+    def estimate(
+        self, plant: PlantView, request: CreateRequest
+    ) -> Optional[float]:
+        if not self._admissible(plant, request):
+            return None
+        usable = plant.host_memory_mb() - self.reserve_mb
+        if usable <= 0:
+            return None
+        after = plant.committed_memory_mb() + request.hardware.memory_mb
+        if after > self.overcommit * usable:
+            return None
+        return self.scale * after / usable
+
+
+class CompositeCost(CostModel):
+    """Weighted sum of component models (None from any ⇒ no bid)."""
+
+    def __init__(
+        self,
+        models: Sequence[CostModel],
+        weights: Optional[Sequence[float]] = None,
+    ):
+        if not models:
+            raise ValueError("at least one component model is required")
+        self.models = list(models)
+        self.weights = (
+            list(weights) if weights is not None else [1.0] * len(models)
+        )
+        if len(self.weights) != len(self.models):
+            raise ValueError("weights must match models")
+
+    def estimate(
+        self, plant: PlantView, request: CreateRequest
+    ) -> Optional[float]:
+        total = 0.0
+        for model, weight in zip(self.models, self.weights):
+            bid = model.estimate(plant, request)
+            if bid is None:
+                return None
+            total += weight * bid
+        return total

@@ -1,0 +1,21 @@
+"""Experiment drivers reproducing the paper's evaluation.
+
+One module per artifact: Figures 4–6, the UML study, the Section 3.4
+cost-function illustration, the in-text numbers of Section 4.3, and
+the ablations DESIGN.md calls out.  Benchmarks under ``benchmarks/``
+are thin wrappers that run these and print paper-style tables.
+"""
+
+from repro.experiments.runner import (
+    CreationSample,
+    ExperimentRun,
+    run_creation_experiment,
+    run_creation_suite,
+)
+
+__all__ = [
+    "CreationSample",
+    "ExperimentRun",
+    "run_creation_experiment",
+    "run_creation_suite",
+]

@@ -1,0 +1,54 @@
+"""Figure 4 — distribution of overall VM creation latencies.
+
+End-to-end latency (client request → VMShop response) per successful
+creation, binned into the paper's 5–85 s layout and normalized, one
+series per golden-machine memory size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.analysis.histograms import FIG4_BIN_CENTERS, Histogram, histogram
+from repro.analysis.stats import Summary, summarize
+from repro.analysis.tables import render_histogram_table
+from repro.experiments.runner import ExperimentRun, run_creation_suite
+
+__all__ = ["Figure4Result", "run_figure4"]
+
+
+@dataclass
+class Figure4Result:
+    """Reproduced Figure 4 data."""
+
+    histograms: Dict[str, Histogram]
+    summaries: Dict[str, Summary]
+    runs: Dict[int, ExperimentRun]
+
+    def render(self) -> str:
+        """The figure as a paper-style table."""
+        return render_histogram_table(
+            "Figure 4: distribution of overall VM creation latencies "
+            "(normalized frequency of occurrence)",
+            self.histograms,
+            x_label="overall latency (s)",
+        )
+
+
+def run_figure4(
+    seed: int = 2004,
+    suite: Optional[Dict[int, ExperimentRun]] = None,
+) -> Figure4Result:
+    """Reproduce Figure 4 (reusing a precomputed suite if given)."""
+    runs = suite or run_creation_suite(seed=seed)
+    histograms: Dict[str, Histogram] = {}
+    summaries: Dict[str, Summary] = {}
+    for memory in sorted(runs):
+        label = f"{memory} MB"
+        latencies = runs[memory].creation_latencies
+        histograms[label] = histogram(latencies, FIG4_BIN_CENTERS)
+        summaries[label] = summarize(latencies)
+    return Figure4Result(
+        histograms=histograms, summaries=summaries, runs=runs
+    )

@@ -1,0 +1,111 @@
+"""On-disk golden images: the warehouse's file layout, for real.
+
+Section 4.1: "Golden machines are stored as files in sub-directories
+of the VM Warehouse; each golden machine is specified by a
+configuration file, and virtual disk and memory files.  XML files are
+used to describe such cached images."  This module materializes that
+layout::
+
+    <store>/<image-id>/
+        descriptor.xml      # GoldenImage.to_xml()
+        machine.cfg         # VM configuration file
+        disk/chunk-00.vmdk  # base virtual disk, spanned across files
+        ...
+        memory.vmss         # suspended memory state (vmware images)
+        redo-base.log       # base redo log replicated per clone
+
+File *sizes* are scaled down by ``scale`` (default 1/1024: one byte
+per KB of modelled state) so tests stay fast while copy/link
+behaviour remains real.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List
+
+from repro.core.errors import WarehouseError
+from repro.plant.warehouse import GoldenImage, VMWarehouse
+
+__all__ = ["materialize_image", "LocalImageStore"]
+
+#: Bytes written per modelled MB at the default scale.
+DEFAULT_SCALE = 1024  # 1 KiB per modelled MB
+
+
+def _write_sized(path: Path, size_bytes: int, fill: bytes = b"\0") -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as fh:
+        if size_bytes > 0:
+            fh.write(fill * size_bytes)
+
+
+def materialize_image(
+    image: GoldenImage, store_dir: Path, scale: int = DEFAULT_SCALE
+) -> Path:
+    """Create the on-disk layout for ``image``; returns its directory."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    root = Path(store_dir) / image.image_id
+    if root.exists():
+        raise WarehouseError(
+            f"image directory {root} already exists"
+        )
+    root.mkdir(parents=True)
+    (root / "descriptor.xml").write_text(image.to_xml())
+    _write_sized(root / "machine.cfg", max(64, int(image.config_mb * scale)))
+    chunk_mb = image.disk_state_mb / image.disk_files
+    for i in range(image.disk_files):
+        _write_sized(
+            root / "disk" / f"chunk-{i:02d}.vmdk",
+            int(chunk_mb * scale),
+        )
+    if image.memory_state_mb > 0:
+        _write_sized(
+            root / "memory.vmss", int(image.memory_state_mb * scale)
+        )
+    _write_sized(root / "redo-base.log", int(image.base_redo_mb * scale))
+    return root
+
+
+class LocalImageStore:
+    """A warehouse directory of materialized golden images."""
+
+    def __init__(self, store_dir: Path, scale: int = DEFAULT_SCALE):
+        self.store_dir = Path(store_dir)
+        self.store_dir.mkdir(parents=True, exist_ok=True)
+        self.scale = scale
+
+    def add(self, image: GoldenImage) -> Path:
+        """Materialize ``image`` into the store."""
+        return materialize_image(image, self.store_dir, self.scale)
+
+    def path_of(self, image_id: str) -> Path:
+        """Directory of a stored image."""
+        root = self.store_dir / image_id
+        if not root.is_dir():
+            raise WarehouseError(f"no materialized image {image_id!r}")
+        return root
+
+    def load_descriptor(self, image_id: str) -> GoldenImage:
+        """Re-read an image's XML descriptor from disk."""
+        return GoldenImage.from_xml(
+            (self.path_of(image_id) / "descriptor.xml").read_text()
+        )
+
+    def list_ids(self) -> List[str]:
+        """All materialized image ids, sorted."""
+        return sorted(
+            p.name for p in self.store_dir.iterdir() if p.is_dir()
+        )
+
+    def to_warehouse(self) -> VMWarehouse:
+        """Build an in-memory warehouse from the on-disk descriptors."""
+        return VMWarehouse(
+            self.load_descriptor(image_id) for image_id in self.list_ids()
+        )
+
+    def disk_chunks(self, image_id: str) -> List[Path]:
+        """Paths of an image's base disk files."""
+        return sorted((self.path_of(image_id) / "disk").glob("chunk-*.vmdk"))

@@ -1,0 +1,78 @@
+"""The VM Information System: classads of active machines.
+
+Each VMPlant maintains the classads of the VMs it hosts (Figure 2);
+the VMShop deliberately does *not* hold this state, which is what
+makes shop restarts cheap (Section 3.1).  The information system
+supports lookup, attribute queries, updates from the run-time monitor,
+and removal at collection time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core.classad import ClassAd, Value
+from repro.core.errors import PlantError
+from repro.plant.production import VirtualMachine
+
+__all__ = ["VMInformationSystem"]
+
+
+class VMInformationSystem:
+    """Plant-local registry of active VM instances."""
+
+    def __init__(self) -> None:
+        self._vms: Dict[str, VirtualMachine] = {}
+
+    def __len__(self) -> int:
+        return len(self._vms)
+
+    def __contains__(self, vmid: str) -> bool:
+        return vmid in self._vms
+
+    def store(self, vm: VirtualMachine) -> None:
+        """Register a newly produced VM."""
+        if vm.vmid in self._vms:
+            raise PlantError(f"vmid {vm.vmid!r} already registered")
+        self._vms[vm.vmid] = vm
+
+    def get(self, vmid: str) -> VirtualMachine:
+        """Look up an active VM."""
+        try:
+            return self._vms[vmid]
+        except KeyError:
+            raise PlantError(f"no active VM {vmid!r}") from None
+
+    def remove(self, vmid: str) -> VirtualMachine:
+        """Deregister a collected VM."""
+        try:
+            return self._vms.pop(vmid)
+        except KeyError:
+            raise PlantError(f"no active VM {vmid!r}") from None
+
+    def active(self) -> List[VirtualMachine]:
+        """All active VMs, in registration order."""
+        return list(self._vms.values())
+
+    def update(self, vmid: str, attrs: Dict[str, Value]) -> None:
+        """Merge monitor-gathered attributes into a VM's classad."""
+        vm = self.get(vmid)
+        for key, value in attrs.items():
+            vm.classad[key] = value
+
+    def query(
+        self, vmid: str, attributes: Iterable[str] = ()
+    ) -> ClassAd:
+        """Classad (or a projection of it) for one VM."""
+        vm = self.get(vmid)
+        wanted: Tuple[str, ...] = tuple(attributes)
+        if not wanted:
+            return vm.classad.copy()
+        projection = ClassAd()
+        for attr in wanted:
+            projection[attr] = vm.classad.lookup(attr)
+        return projection
+
+    def total_guest_memory_mb(self) -> int:
+        """Aggregate guest memory of active VMs (cost/bidding input)."""
+        return sum(vm.memory_mb for vm in self._vms.values())

@@ -1,0 +1,86 @@
+"""Lease enforcement: automatic collection of expired VMs.
+
+Web/Grid service frameworks pair dynamically created resources with
+*lifetime management* (the paper defers it to the hosting framework;
+we provide the plant-side half).  A creation request may carry a
+lease (:attr:`~repro.core.spec.CreateRequest.lease_s`); the plant
+stamps ``lease_expires_at`` into the VM's classad, and the
+:class:`LeaseReaper` daemon sweeps the information system, collecting
+any VM whose lease has lapsed — exactly as if the client had called
+destroy.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from repro.plant.production import VMStatus
+from repro.plant.vmplant import VMPlant
+from repro.sim.kernel import Environment, Interrupt, Process
+from repro.sim.trace import trace
+
+__all__ = ["LeaseReaper"]
+
+
+class LeaseReaper:
+    """Periodic lease sweep for one plant."""
+
+    def __init__(
+        self,
+        env: Environment,
+        plant: VMPlant,
+        period: float = 10.0,
+    ):
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.env = env
+        self.plant = plant
+        self.period = period
+        #: vmids collected because their lease lapsed.
+        self.reaped: List[str] = []
+        self._proc: Optional[Process] = None
+
+    def start(self) -> Process:
+        """Launch the reaper daemon."""
+        if self._proc is not None and self._proc.is_alive:
+            return self._proc
+        self._proc = self.env.process(self._run())
+        return self._proc
+
+    def stop(self) -> None:
+        """Terminate the daemon."""
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("reaper stopped")
+
+    def expired_vmids(self) -> List[str]:
+        """Active VMs whose lease has lapsed."""
+        now = self.env.now
+        out: List[str] = []
+        for vm in self.plant.infosys.active():
+            if vm.status is not VMStatus.RUNNING:
+                continue
+            expires = vm.classad.get("lease_expires_at")
+            if isinstance(expires, (int, float)) and now >= expires:
+                out.append(vm.vmid)
+        return out
+
+    def sweep(self) -> Generator:
+        """Collect every expired VM; returns how many were reaped."""
+        count = 0
+        for vmid in self.expired_vmids():
+            yield from self.plant.destroy(vmid)
+            self.reaped.append(vmid)
+            count += 1
+            trace(
+                self.env, "reaper", "lease-expired",
+                vmid=vmid, plant=self.plant.name,
+            )
+        return count
+
+    def _run(self) -> Generator:
+        try:
+            while True:
+                yield self.env.timeout(self.period)
+                yield from self.sweep()
+        except Interrupt:
+            return

@@ -1,0 +1,142 @@
+"""Speculative pre-creation of VM clones (Section 6, future work).
+
+The paper suggests hiding instantiation latency by cloning golden
+machines *before* requests arrive.  :class:`SpeculativeClonePool`
+implements that on top of the ordinary plant services: it pre-creates
+clones of a prototype request whose DAG is exactly the golden image's
+performed prefix (so no configuration work happens at fill time), and
+serves later requests by *extending* a pooled VM with the request's
+residual actions — paying only the configuration cost at request time.
+
+Pooled VMs are domain-bound (they were attached to the prototype
+domain's host-only network at fill time), so a pool serves one client
+domain; acquire falls back to ``None`` on any mismatch and the caller
+creates normally.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from repro.core.classad import ClassAd
+from repro.core.dag import ConfigDAG
+from repro.core.errors import PlantError
+from repro.core.spec import CreateRequest, SoftwareSpec
+from repro.plant.vmplant import VMPlant
+
+__all__ = ["SpeculativeClonePool"]
+
+
+class SpeculativeClonePool:
+    """Pre-warmed clones for one (plant, image, domain) combination."""
+
+    def __init__(
+        self,
+        plant: VMPlant,
+        prototype: CreateRequest,
+        target: int = 2,
+        vmid_prefix: str = "spec",
+    ):
+        if target < 0:
+            raise ValueError("target must be non-negative")
+        base_dag = self._base_dag(plant, prototype)
+        self.plant = plant
+        self.prototype = prototype
+        self.base_request = CreateRequest(
+            hardware=prototype.hardware,
+            software=SoftwareSpec(os=prototype.software.os, dag=base_dag),
+            network=prototype.network,
+            client_id=f"{prototype.client_id}-speculative",
+            vm_type=prototype.vm_type,
+        )
+        self.target = target
+        self.vmid_prefix = vmid_prefix
+        self._seq = 0
+        self._pool: List[str] = []
+        #: Pool statistics for the ablation benches.
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _base_dag(plant: VMPlant, prototype: CreateRequest) -> ConfigDAG:
+        """DAG covering exactly the matched golden image's prefix."""
+        from repro.core.matching import select_golden
+
+        image, result, _ = select_golden(
+            plant.warehouse.images(prototype.vm_type),
+            prototype.dag,
+            prototype.hardware,
+            prototype.software.os,
+            prototype.vm_type,
+        )
+        if image is None or result is None:
+            raise PlantError(
+                "no golden image matches the speculative prototype"
+            )
+        return prototype.dag.subdag(result.satisfied)
+
+    # -- pool management -----------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Clones currently idling in the pool."""
+        return len(self._pool)
+
+    def fill(self) -> Generator:
+        """Pre-create clones until the pool holds ``target`` VMs.
+
+        Returns the number of clones created.  Intended to run in the
+        background (e.g. ``env.process(pool.fill())``) between
+        requests.
+        """
+        created = 0
+        while len(self._pool) < self.target:
+            self._seq += 1
+            vmid = f"{self.vmid_prefix}-{self.plant.name}-{self._seq}"
+            yield from self.plant.create(self.base_request, vmid)
+            self._pool.append(vmid)
+            created += 1
+        return created
+
+    def _compatible(self, request: CreateRequest) -> bool:
+        proto = self.prototype
+        return (
+            request.network.domain == proto.network.domain
+            and request.hardware == proto.hardware
+            and request.software.os == proto.software.os
+            and request.vm_type == proto.vm_type
+        )
+
+    def acquire(self, request: CreateRequest) -> Generator:
+        """Serve ``request`` from the pool; returns a classad or None.
+
+        On a hit the pooled clone is extended with the request's
+        residual configuration — the client-visible latency is just
+        that configuration time.  On a miss (empty pool or
+        incompatible request) the caller should fall back to a normal
+        ``create``.
+        """
+        if not self._pool or not self._compatible(request):
+            self.misses += 1
+            return None
+        vmid = self._pool.pop(0)
+        try:
+            ad: ClassAd = yield from self.plant.extend(
+                vmid, request.dag, {"client": request.client_id}
+            )
+        except PlantError:
+            # Extension mismatch: the clone stays usable for others.
+            self._pool.insert(0, vmid)
+            self.misses += 1
+            return None
+        self.hits += 1
+        ad["speculative"] = True
+        return ad
+
+    def drain(self) -> Generator:
+        """Collect all idle pooled clones (shutdown path)."""
+        drained = 0
+        while self._pool:
+            vmid = self._pool.pop()
+            yield from self.plant.destroy(vmid)
+            drained += 1
+        return drained

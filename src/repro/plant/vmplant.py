@@ -1,0 +1,400 @@
+"""The VMPlant daemon: services of Figure 2 wired together.
+
+A plant runs on one physical resource and exposes four services to
+the shop: **create**, **query**, **destroy** (collect), and
+**estimate** (the cost-bidding hook).  Internally it owns a PPP, the
+(site-shared) warehouse handle, its production lines, a VM information
+system with run-time monitor, and the host-only network pool used for
+VNET-style isolation.
+
+``create`` and ``destroy`` are simulation-kernel process generators;
+``query`` and ``estimate`` are immediate (the transport layer charges
+their latency).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Iterable, Mapping, Optional
+
+from repro.core.classad import ClassAd
+from repro.core.dag import ConfigDAG
+from repro.core.errors import PlantError, VNetError
+from repro.core.matching import (
+    partial_order_test,
+    prefix_test,
+    signature_test,
+    subset_test,
+)
+from repro.core.spec import CreateRequest
+from repro.cost.models import CostModel, MemoryAvailableCost, PlantView
+from repro.plant.infosys import VMInformationSystem
+from repro.plant.monitor import VMMonitor
+from repro.plant.ppp import ProductionOrder, ProductionProcessPlanner
+from repro.plant.production import (
+    CloneMode,
+    ProductionLine,
+    VirtualMachine,
+    VMStatus,
+)
+from repro.plant.warehouse import VMWarehouse
+from repro.sim.kernel import Environment
+from repro.vnet.hostonly import HostOnlyNetworkPool
+from repro.vnet.vnetd import VirtualNetworkService, VNetProxy, VNetServer
+
+__all__ = ["VMPlant"]
+
+
+class VMPlant(PlantView):
+    """One plant daemon."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        warehouse: VMWarehouse,
+        lines: Mapping[str, ProductionLine],
+        cost_model: Optional[CostModel] = None,
+        host_memory_mb: int = 1536,
+        max_vms: Optional[int] = None,
+        network_pool: Optional[HostOnlyNetworkPool] = None,
+        vnet_service: Optional[VirtualNetworkService] = None,
+        default_clone_mode: CloneMode = CloneMode.LINK,
+        monitor_period: float = 30.0,
+    ):
+        self.env = env
+        self.name = name
+        self.warehouse = warehouse
+        self.lines: Dict[str, ProductionLine] = dict(lines)
+        self.cost_model = cost_model or MemoryAvailableCost()
+        self._host_memory_mb = host_memory_mb
+        self.max_vms = max_vms
+        self.network_pool = network_pool or HostOnlyNetworkPool(name)
+        self.vnet_service = vnet_service
+        self.default_clone_mode = default_clone_mode
+        self.infosys = VMInformationSystem()
+        #: Cordoned plants decline all new bids (maintenance mode);
+        #: existing VMs keep running and can be drained away.
+        self.cordoned = False
+        self.ppp = ProductionProcessPlanner(
+            env, warehouse, self.infosys, self.lines
+        )
+        self.monitor = VMMonitor(env, self.infosys, monitor_period)
+        #: (vmid → domain) for bridge teardown at collection time.
+        self._vm_domain: Dict[str, str] = {}
+        self._vm_bridged: Dict[str, bool] = {}
+        if vnet_service is not None:
+            vnet_service.register_server(
+                VNetServer(plant_name=name, host=name)
+            )
+
+    # -- PlantView (cost model inputs) -------------------------------------
+    def active_vm_count(self) -> int:
+        return len(self.infosys)
+
+    def committed_memory_mb(self) -> int:
+        return self.infosys.total_guest_memory_mb()
+
+    def host_memory_mb(self) -> int:
+        return self._host_memory_mb
+
+    def vm_capacity(self) -> Optional[int]:
+        return self.max_vms
+
+    def network_would_be_fresh(self, domain: str) -> bool:
+        return self.network_pool.would_be_fresh(domain)
+
+    def network_has_capacity(self, domain: str) -> bool:
+        return self.network_pool.has_capacity_for(domain)
+
+    # -- services ------------------------------------------------------------
+    def description_ad(self) -> ClassAd:
+        """This plant's matchmaking description (registry/bidding)."""
+        return ClassAd(
+            {
+                "name": self.name,
+                "kind": "vmplant",
+                "vm_types": sorted(self.lines),
+                "host_memory_mb": self._host_memory_mb,
+                "committed_mb": self.committed_memory_mb(),
+                "active_vms": self.active_vm_count(),
+                "networks_free": self.network_pool.free_count,
+                "max_vms": (
+                    self.max_vms if self.max_vms is not None else -1
+                ),
+            }
+        )
+
+    def estimate(self, request: CreateRequest) -> Optional[float]:
+        """Bid for a creation request (None = declined).
+
+        A plant declines when it lacks the requested technology, no
+        production line can host the request, no warehouse image
+        matches it, the request's matchmaking ``requirements``
+        expression rejects this plant's description ad, or the cost
+        model refuses.
+        """
+        if self.cordoned:
+            return None
+        if request.vm_type is not None and request.vm_type not in self.lines:
+            return None
+        if request.requirements is not None:
+            if not request.to_classad().matches(self.description_ad()):
+                return None
+        line_ok = any(
+            line.can_host(request)
+            for vm_type, line in self.lines.items()
+            if request.vm_type in (None, vm_type)
+        )
+        if not line_ok:
+            return None
+        try:
+            self.ppp.plan(
+                ProductionOrder(vmid="__estimate__", request=request)
+            )
+        except PlantError:
+            return None
+        return self.cost_model.estimate(self, request)
+
+    def create(
+        self,
+        request: CreateRequest,
+        vmid: str,
+        clone_mode: Optional[CloneMode] = None,
+    ) -> Generator:
+        """Produce a VM; returns a copy of its classad.
+
+        The paper's creation pipeline: admission → host-only network
+        attach → (optional) VNET bridge setup → PPP clone+configure.
+        Failures unwind the network state before re-raising.
+        """
+        if self.max_vms is not None and len(self.infosys) >= self.max_vms:
+            raise PlantError(f"plant {self.name}: at VM capacity")
+        domain = request.network.domain
+        assignment = self.network_pool.attach(domain, vmid)
+
+        bridged = False
+        if self.vnet_service is not None and request.network.wants_vnet:
+            proxy = VNetProxy(
+                domain=domain,
+                host=request.network.proxy_host or "",
+                port=request.network.proxy_port or 0,
+                credentials=request.network.credentials,
+            )
+            self.vnet_service.setup_bridge(
+                self.name, assignment.network_id, proxy
+            )
+            bridged = True
+
+        context = {
+            "ip": assignment.ip_address,
+            "network_id": assignment.network_id,
+            "plant": self.name,
+        }
+        order = ProductionOrder(
+            vmid=vmid,
+            request=request,
+            clone_mode=clone_mode or self.default_clone_mode,
+            context=context,
+        )
+        try:
+            vm: VirtualMachine = yield from self.ppp.produce(order)
+        except Exception:
+            self.network_pool.detach(vmid)
+            if bridged:
+                self.vnet_service.teardown_bridge(self.name, domain)
+            raise
+
+        vm.network_id = assignment.network_id
+        self._vm_domain[vmid] = domain
+        self._vm_bridged[vmid] = bridged
+        ad = vm.classad
+        ad["plant"] = self.name
+        ad["network_id"] = assignment.network_id
+        ad["ip"] = assignment.ip_address
+        ad["network_fresh"] = assignment.fresh_allocation
+        return ad.copy()
+
+    def query(self, vmid: str, attributes: Iterable[str] = ()) -> ClassAd:
+        """Classad (or projection) of an active VM."""
+        return self.infosys.query(vmid, attributes)
+
+    def extend(
+        self,
+        vmid: str,
+        dag: ConfigDAG,
+        context: Optional[Dict[str, str]] = None,
+    ) -> Generator:
+        """Apply additional configuration to a *running* VM.
+
+        ``dag`` describes the desired total configuration; the actions
+        already performed on the VM must form a valid prefix of it
+        (the same Section 3.2 criterion used for golden images).  The
+        residual actions are executed and the VM's classad updated —
+        this is the workflow that lets a user install applications
+        into a live workspace and later publish it via
+        ``destroy(commit=True)``.
+        """
+        dag.validate()
+        vm = self.infosys.get(vmid)
+        line = self.lines[vm.vm_type]
+        names = [a.name for a in vm.performed_actions]
+        if not (
+            signature_test(vm.performed_actions, dag)
+            and subset_test(names, dag)
+            and prefix_test(names, dag)
+            and partial_order_test(names, dag)
+        ):
+            raise PlantError(
+                f"VM {vmid!r} state conflicts with the extension DAG"
+            )
+        residual = dag.residual_after(names)
+        ctx = {
+            "vmid": vmid,
+            "client": vm.request.client_id,
+            "plant": self.name,
+        }
+        ctx.update(context or {})
+        start = self.env.now
+        yield from self.ppp.run_actions(vm, line, dag, residual, ctx)
+        vm.classad["extended_at"] = self.env.now
+        vm.classad["extend_time"] = self.env.now - start
+        return vm.classad.copy()
+
+    def destroy(
+        self,
+        vmid: str,
+        commit: bool = False,
+        publish_as: Optional[str] = None,
+    ) -> Generator:
+        """Collect a VM; optionally publish its state as a new image.
+
+        With ``commit=True`` the redo-log changes are committed and a
+        derived golden image — the original plus the actions executed
+        on this instance — is published under ``publish_as``, enabling
+        the paper's install-once-instantiate-many workflow.
+        """
+        vm = self.infosys.get(vmid)
+        line = self.lines[vm.vm_type]
+        if commit:
+            publish_id = publish_as or f"{vm.image.image_id}+{vmid}"
+            base = len(vm.image.performed)
+            executed = vm.performed_actions[base:]
+            self.warehouse.publish(
+                vm.image.with_performed(executed, image_id=publish_id)
+            )
+        yield from line.collect(vm)
+        vm.status = VMStatus.COLLECTED
+        vm.classad["status"] = vm.status.value
+        vm.classad["collected_at"] = self.env.now
+        self.infosys.remove(vmid)
+        self.network_pool.detach(vmid)
+        domain = self._vm_domain.pop(vmid, None)
+        if self._vm_bridged.pop(vmid, False) and domain is not None:
+            try:
+                self.vnet_service.teardown_bridge(self.name, domain)
+            except VNetError:
+                pass  # bridge already gone (shared teardown)
+        return vm.classad.copy()
+
+    def cordon(self) -> None:
+        """Enter maintenance mode: decline all new bids.
+
+        Existing VMs keep running; combine with
+        :meth:`~repro.plant.migration.MigrationManager.drain` to empty
+        the plant before taking the host down — the "simplified
+        resource administration" workflow of Section 2.
+        """
+        self.cordoned = True
+
+    def uncordon(self) -> None:
+        """Leave maintenance mode and resume bidding."""
+        self.cordoned = False
+
+    def handle_xml(self, request_xml: str, vmid: Optional[str] = None):
+        """Dispatch one XML service request (the prototype's wire form).
+
+        Returns a generator for create/destroy (they take simulated
+        time) and an immediate value for query/estimate:
+
+        * ``create`` → generator yielding the new VM's classad text;
+        * ``estimate`` → the bid (float) or None;
+        * ``query`` → classad text;
+        * ``destroy`` → generator yielding the final classad text.
+
+        ``vmid`` must be supplied for create (the shop assigns ids).
+        """
+        from repro.shop.protocol import service_request_from_xml
+
+        service, request = service_request_from_xml(request_xml)
+        if service == "create":
+            if vmid is None:
+                raise PlantError("create requires a shop-assigned vmid")
+
+            def _create():
+                ad = yield from self.create(request, vmid)
+                return ad.to_string()
+
+            return _create()
+        if service == "estimate":
+            return self.estimate(request)
+        if service == "query":
+            return self.query(
+                request.vmid, request.attributes
+            ).to_string()
+        if service == "destroy":
+
+            def _destroy():
+                ad = yield from self.destroy(
+                    request.vmid, request.commit, request.publish_as
+                )
+                return ad.to_string()
+
+            return _destroy()
+        raise PlantError(f"unsupported service {service!r}")
+
+    # -- migration support (driven by plant.migration) -----------------------
+    def begin_migration(self, vmid: str) -> VirtualMachine:
+        """Validate and mark a VM as migrating out of this plant."""
+        vm = self.infosys.get(vmid)
+        if vm.status is not VMStatus.RUNNING:
+            raise PlantError(
+                f"VM {vmid!r} is {vm.status.value}, not running"
+            )
+        line = self.lines[vm.vm_type]
+        if not line.supports_migration():
+            raise PlantError(
+                f"{vm.vm_type} line on {self.name} cannot migrate"
+            )
+        vm.status = VMStatus.MIGRATING
+        return vm
+
+    def complete_migration_out(self, vmid: str) -> None:
+        """Drop all local state for a VM that migrated away."""
+        self.infosys.remove(vmid)
+        self.network_pool.detach(vmid)
+        domain = self._vm_domain.pop(vmid, None)
+        if self._vm_bridged.pop(vmid, False) and domain is not None:
+            try:
+                self.vnet_service.teardown_bridge(self.name, domain)
+            except VNetError:
+                pass
+
+    def adopt_migrated(self, vm: VirtualMachine, assignment) -> None:
+        """Register a VM that migrated onto this plant."""
+        domain = vm.request.network.domain
+        vm.status = VMStatus.RUNNING
+        vm.network_id = assignment.network_id
+        self.infosys.store(vm)
+        self._vm_domain[vm.vmid] = domain
+        self._vm_bridged[vm.vmid] = False
+        ad = vm.classad
+        ad["plant"] = self.name
+        ad["network_id"] = assignment.network_id
+        ad["ip"] = assignment.ip_address
+        ad["status"] = vm.status.value
+
+    def __repr__(self) -> str:
+        return (
+            f"<VMPlant {self.name} vms={len(self.infosys)}"
+            f" lines={sorted(self.lines)}>"
+        )

@@ -1,0 +1,253 @@
+"""The VM Warehouse: golden images and their XML descriptors.
+
+The warehouse stores "golden" machines — suspended VMs (or bootable
+file systems) checkpointed after an off-line installation — each
+described by an XML descriptor recording memory size, operating
+system, and the ordered configuration actions already performed
+(Section 3.2/4.1).  Image *state* consists of a configuration file,
+a virtual disk spanned across several files, and (for suspended
+images) a memory-state file; the sizes drive the cloning cost model.
+
+VM installers publish new images via :meth:`VMWarehouse.publish`,
+making customized application environments available for subsequent
+instantiation — the paper's application-centric workflow.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.actions import Action
+from repro.core.classad import ClassAd
+from repro.core.dagxml import action_from_element
+from repro.core.errors import ProtocolError, WarehouseError
+from repro.core.spec import HardwareSpec
+
+__all__ = ["GoldenImage", "VMWarehouse"]
+
+
+@dataclass(frozen=True)
+class GoldenImage:
+    """Descriptor of one cached golden machine."""
+
+    image_id: str
+    vm_type: str
+    os: str
+    hardware: HardwareSpec
+    #: Ordered configuration actions already performed on the image.
+    performed: Tuple[Action, ...] = ()
+    #: Virtual disk payload (MB) and the number of files spanning it.
+    disk_state_mb: float = 2048.0
+    disk_files: int = 16
+    #: Suspended memory state (MB); 0 for boot-based images (UML).
+    memory_state_mb: float = 0.0
+    #: Base redo log replicated per clone (MB).
+    base_redo_mb: float = 16.0
+    #: VM configuration file (MB).
+    config_mb: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.disk_state_mb < 0 or self.memory_state_mb < 0:
+            raise ValueError("state sizes must be non-negative")
+        if self.disk_files <= 0:
+            raise ValueError("disk_files must be positive")
+
+    @property
+    def performed_names(self) -> Tuple[str, ...]:
+        """Names of performed operations, in order."""
+        return tuple(a.name for a in self.performed)
+
+    @property
+    def clone_payload_mb(self) -> float:
+        """State replicated per LINK clone (everything but the disk)."""
+        return self.config_mb + self.base_redo_mb + self.memory_state_mb
+
+    def with_performed(
+        self, extra: Iterable[Action], image_id: Optional[str] = None
+    ) -> "GoldenImage":
+        """Derived image with more operations performed (publishing)."""
+        return replace(
+            self,
+            image_id=image_id or self.image_id,
+            performed=self.performed + tuple(extra),
+        )
+
+    # -- descriptors -------------------------------------------------------
+    def to_classad(self) -> ClassAd:
+        """Classad description (used in query results and caching)."""
+        return ClassAd(
+            {
+                "image_id": self.image_id,
+                "vm_type": self.vm_type,
+                "os": self.os,
+                "memory_mb": self.hardware.memory_mb,
+                "disk_gb": self.hardware.disk_gb,
+                "performed": list(self.performed_names),
+            }
+        )
+
+    def to_xml(self) -> str:
+        """The warehouse XML descriptor for this image."""
+        root = ET.Element(
+            "golden-image",
+            {
+                "id": self.image_id,
+                "vm-type": self.vm_type,
+                "os": self.os,
+                "isa": self.hardware.isa,
+                "memory-mb": str(self.hardware.memory_mb),
+                "disk-gb": repr(self.hardware.disk_gb),
+                "cpus": str(self.hardware.cpus),
+                "disk-state-mb": repr(self.disk_state_mb),
+                "disk-files": str(self.disk_files),
+                "memory-state-mb": repr(self.memory_state_mb),
+                "base-redo-mb": repr(self.base_redo_mb),
+                "config-mb": repr(self.config_mb),
+            },
+        )
+        performed_el = ET.SubElement(root, "performed")
+        for action in self.performed:
+            el = ET.SubElement(
+                performed_el,
+                "action",
+                {
+                    "name": action.name,
+                    "scope": action.scope.value,
+                    "command": action.command,
+                    "on-error": action.on_error.value,
+                    "retries": str(action.retries),
+                },
+            )
+            for key, value in action.params:
+                ET.SubElement(el, "param", {"key": key, "value": value})
+            for out in action.outputs:
+                ET.SubElement(el, "output", {"name": out})
+        return ET.tostring(root, encoding="unicode")
+
+    @classmethod
+    def from_xml(cls, text: str) -> "GoldenImage":
+        """Parse a warehouse XML descriptor (strict)."""
+        try:
+            root = ET.fromstring(text)
+        except ET.ParseError as exc:
+            raise ProtocolError(f"malformed XML: {exc}") from exc
+        if root.tag != "golden-image":
+            raise ProtocolError(
+                f"expected <golden-image>, got <{root.tag}>"
+            )
+
+        def req(attr: str) -> str:
+            value = root.get(attr)
+            if value is None:
+                raise ProtocolError(
+                    f"<golden-image> missing attribute {attr!r}"
+                )
+            return value
+
+        performed: List[Action] = []
+        performed_el = root.find("performed")
+        if performed_el is not None:
+            for el in performed_el:
+                if el.tag != "action":
+                    raise ProtocolError(
+                        f"unexpected element <{el.tag}> in <performed>"
+                    )
+                performed.append(action_from_element(el))
+        try:
+            hardware = HardwareSpec(
+                isa=root.get("isa", "x86"),
+                memory_mb=int(req("memory-mb")),
+                disk_gb=float(req("disk-gb")),
+                cpus=int(root.get("cpus", "1")),
+            )
+            return cls(
+                image_id=req("id"),
+                vm_type=req("vm-type"),
+                os=req("os"),
+                hardware=hardware,
+                performed=tuple(performed),
+                disk_state_mb=float(root.get("disk-state-mb", "2048.0")),
+                disk_files=int(root.get("disk-files", "16")),
+                memory_state_mb=float(root.get("memory-state-mb", "0.0")),
+                base_redo_mb=float(root.get("base-redo-mb", "16.0")),
+                config_mb=float(root.get("config-mb", "0.1")),
+            )
+        except ValueError as exc:
+            raise ProtocolError(f"bad golden-image attribute: {exc}") from exc
+
+
+class VMWarehouse:
+    """Store of golden images, shared by the plants of a site.
+
+    In the prototype the warehouse is an NFS-mounted directory tree;
+    here it is an in-memory map plus optional XML persistence, with
+    the image *state* transfer costs modelled by whichever storage
+    substrate the production line is attached to.
+    """
+
+    def __init__(self, images: Iterable[GoldenImage] = ()):
+        self._images: Dict[str, GoldenImage] = {}
+        for image in images:
+            self.publish(image)
+
+    def __len__(self) -> int:
+        return len(self._images)
+
+    def __contains__(self, image_id: str) -> bool:
+        return image_id in self._images
+
+    def publish(self, image: GoldenImage) -> None:
+        """Add an image; ids must be unique."""
+        if image.image_id in self._images:
+            raise WarehouseError(
+                f"image id {image.image_id!r} already published"
+            )
+        self._images[image.image_id] = image
+
+    def unpublish(self, image_id: str) -> GoldenImage:
+        """Remove and return an image."""
+        try:
+            return self._images.pop(image_id)
+        except KeyError:
+            raise WarehouseError(f"no image {image_id!r}") from None
+
+    def get(self, image_id: str) -> GoldenImage:
+        """Look up an image by id."""
+        try:
+            return self._images[image_id]
+        except KeyError:
+            raise WarehouseError(f"no image {image_id!r}") from None
+
+    def images(self, vm_type: Optional[str] = None) -> List[GoldenImage]:
+        """All images (optionally restricted to one technology)."""
+        return [
+            img
+            for img in self._images.values()
+            if vm_type is None or img.vm_type == vm_type
+        ]
+
+    # -- persistence ---------------------------------------------------------
+    def dump_xml(self) -> str:
+        """All descriptors as one ``<warehouse>`` document."""
+        root = ET.Element("warehouse")
+        for image in self._images.values():
+            root.append(ET.fromstring(image.to_xml()))
+        return ET.tostring(root, encoding="unicode")
+
+    @classmethod
+    def load_xml(cls, text: str) -> "VMWarehouse":
+        """Rebuild a warehouse from :meth:`dump_xml` output."""
+        try:
+            root = ET.fromstring(text)
+        except ET.ParseError as exc:
+            raise ProtocolError(f"malformed XML: {exc}") from exc
+        if root.tag != "warehouse":
+            raise ProtocolError(f"expected <warehouse>, got <{root.tag}>")
+        wh = cls()
+        for child in root:
+            wh.publish(
+                GoldenImage.from_xml(ET.tostring(child, encoding="unicode"))
+            )
+        return wh

@@ -1,0 +1,93 @@
+"""Cost-bid collection and plant selection.
+
+VMShop selects a plant "through a communication API and a binding
+protocol that allows VMShop to request and collect bids containing
+estimated VM creation costs" (Section 3.1).  Bids are collected from
+all candidate plants in parallel over the transport; the cheapest bid
+wins, with ties broken uniformly at random (the Section 3.4
+illustration: "the VMShop picks one plant at random") from a named
+deterministic stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, List, Optional, Sequence
+
+from repro.core.errors import ShopError
+from repro.core.spec import CreateRequest
+from repro.shop.protocol import Transport
+from repro.sim.kernel import Environment
+from repro.sim.rng import RngHub
+
+__all__ = ["Bid", "BidCollector"]
+
+
+@dataclass(frozen=True)
+class Bid:
+    """One plant's (or broker's) answer to an estimate request."""
+
+    bidder_name: str
+    cost: float
+    #: The service object that will receive the create call.
+    bidder: Any
+
+
+class BidCollector:
+    """Parallel bid collection + deterministic random tie-breaking."""
+
+    def __init__(
+        self,
+        env: Environment,
+        transport: Transport,
+        rng: Optional[RngHub] = None,
+    ):
+        self.env = env
+        self.transport = transport
+        self.rng = rng or RngHub(0)
+
+    def collect(
+        self, bidders: Sequence[Any], request: CreateRequest
+    ) -> Generator:
+        """Gather bids from every bidder concurrently.
+
+        Bidders expose ``name`` and ``estimate(request) -> float|None``
+        (plants and brokers both do).  Returns the list of successful
+        bids in bidder order.
+        """
+        procs = [
+            self.env.process(
+                self.transport.call(lambda b=bidder: b.estimate(request))
+            )
+            for bidder in bidders
+        ]
+        if procs:
+            yield self.env.all_of(procs)
+        bids: List[Bid] = []
+        for bidder, proc in zip(bidders, procs):
+            cost = proc.value
+            if cost is not None:
+                bids.append(
+                    Bid(bidder_name=bidder.name, cost=float(cost), bidder=bidder)
+                )
+        return bids
+
+    def select(self, bids: Sequence[Bid]) -> Bid:
+        """The winning bid: minimum cost, random among exact ties."""
+        if not bids:
+            raise ShopError("no plant bid for the request")
+        best_cost = min(bid.cost for bid in bids)
+        winners = [bid for bid in bids if bid.cost == best_cost]
+        if len(winners) == 1:
+            return winners[0]
+        return self.rng.choice("bid-tie", winners)
+
+    def rank(self, bids: Sequence[Bid]) -> List[Bid]:
+        """Bids from best to worst (ties shuffled deterministically)."""
+        remaining = list(bids)
+        ordered: List[Bid] = []
+        while remaining:
+            chosen = self.select(remaining)
+            ordered.append(chosen)
+            remaining.remove(chosen)
+        return ordered

@@ -1,0 +1,92 @@
+"""VMBrokers: bid aggregation for scalable plant selection.
+
+Section 3.1 allows VMShop to collect bids "directly, or indirectly
+through VMBrokers".  A broker fronts a set of plants (e.g. one rack or
+one administrative sub-domain): its estimate is the best bid among its
+plants, and a create call is routed to whichever plant produced that
+bid.  Brokers expose the same ``name``/``estimate``/``create`` surface
+as plants, so shops can mix both freely — and brokers can front other
+brokers, giving a bidding tree.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional, Sequence
+
+from repro.core.errors import ShopError
+from repro.core.spec import CreateRequest
+from repro.plant.production import CloneMode
+
+__all__ = ["VMBroker"]
+
+
+class VMBroker:
+    """Aggregates bids from a set of plants (or nested brokers)."""
+
+    def __init__(self, name: str, plants: Sequence[Any] = ()):
+        self.name = name
+        self.plants: List[Any] = list(plants)
+        #: Winning plant of the most recent estimate, used to route
+        #: the following create call.
+        self._last_winner: Optional[Any] = None
+
+    def add_plant(self, plant: Any) -> None:
+        """Register another plant (or broker) behind this broker."""
+        self.plants.append(plant)
+
+    def estimate(self, request: CreateRequest) -> Optional[float]:
+        """Best bid among fronted plants (None when all decline)."""
+        best_cost: Optional[float] = None
+        best_plant: Optional[Any] = None
+        for plant in self.plants:
+            cost = plant.estimate(request)
+            if cost is None:
+                continue
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best_plant = plant
+        self._last_winner = best_plant
+        return best_cost
+
+    def create(
+        self,
+        request: CreateRequest,
+        vmid: str,
+        clone_mode: Optional[CloneMode] = None,
+    ) -> Generator:
+        """Route creation to the current best plant for the request."""
+        # Re-estimate at create time: plant state may have moved since
+        # the bid was collected.
+        self.estimate(request)
+        plant = self._last_winner
+        if plant is None:
+            raise ShopError(
+                f"broker {self.name}: no plant can host the request"
+            )
+        result = yield from plant.create(request, vmid, clone_mode)
+        return result
+
+    def query(self, vmid: str, attributes=()) -> Any:
+        """Route a query to whichever fronted plant knows the VM."""
+        for plant in self.plants:
+            try:
+                return plant.query(vmid, attributes)
+            except Exception:
+                continue
+        raise ShopError(f"broker {self.name}: no plant knows {vmid!r}")
+
+    def destroy(self, vmid: str, commit: bool = False, publish_as=None):
+        """Route a destroy to whichever fronted plant hosts the VM."""
+        for plant in self.plants:
+            infosys = getattr(plant, "infosys", None)
+            if infosys is not None and vmid in infosys:
+                return plant.destroy(vmid, commit, publish_as)
+            if isinstance(plant, VMBroker):
+                try:
+                    return plant.destroy(vmid, commit, publish_as)
+                except ShopError:
+                    continue
+        raise ShopError(f"broker {self.name}: no plant hosts {vmid!r}")
+
+    def __repr__(self) -> str:
+        return f"<VMBroker {self.name} plants={len(self.plants)}>"

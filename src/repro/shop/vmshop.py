@@ -1,0 +1,234 @@
+"""The VMShop front-end service.
+
+From the client's perspective the shop plays the system administrator
+(Section 3.1): **create** finds and configures a machine, **query**
+reports on it, **destroy** collects it.  The shop:
+
+* round-trips create requests through their XML encoding (the
+  prototype's service specification format);
+* collects cost bids from its registered plants/brokers and picks the
+  winner (cheapest, random among ties);
+* assigns the site-unique VMID and remembers only the VMID → plant
+  routing plus an optional classad *cache* — the authoritative classad
+  lives in the plant's information system, which is what makes shop
+  restarts cheap (:meth:`VMShop.recover` rebuilds the routing from the
+  plants).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Iterable, List, Optional
+
+from repro.core.classad import ClassAd
+from repro.core.errors import ReproError, ShopError
+from repro.core.spec import CreateRequest
+from repro.plant.production import CloneMode
+from repro.shop.bidding import Bid, BidCollector
+from repro.shop.protocol import (
+    Transport,
+    service_request_from_xml,
+    service_request_to_xml,
+)
+from repro.shop.registry import ServiceRegistry
+from repro.sim.kernel import Environment
+from repro.sim.rng import RngHub
+from repro.sim.trace import trace
+
+__all__ = ["VMShop"]
+
+
+class VMShop:
+    """Single logical point of contact for VM services."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str = "vmshop",
+        transport: Optional[Transport] = None,
+        rng: Optional[RngHub] = None,
+        registry: Optional[ServiceRegistry] = None,
+        use_xml: bool = True,
+        retry_other_plants: bool = False,
+        cache_classads: bool = True,
+    ):
+        self.env = env
+        self.name = name
+        self.rng = rng or RngHub(0)
+        self.transport = transport or Transport(env, self.rng)
+        self.registry = registry
+        self.use_xml = use_xml
+        #: On plant failure, fall through to the next-best bid?
+        self.retry_other_plants = retry_other_plants
+        self.cache_classads = cache_classads
+        self.collector = BidCollector(env, self.transport, self.rng)
+        self.bidders: List[Any] = []
+        self._route: Dict[str, Any] = {}
+        self._cache: Dict[str, ClassAd] = {}
+        self._seq = 0
+        #: Creation log: (vmid, plant_name, ok) for experiments.
+        self.creation_log: List[tuple] = []
+        if registry is not None:
+            registry.publish(name, "vmshop", self)
+
+    # -- membership ---------------------------------------------------------
+    def register_plant(self, plant: Any) -> None:
+        """Add a plant or broker to the bidding set."""
+        self.bidders.append(plant)
+        if self.registry is not None:
+            describe = getattr(plant, "description_ad", None)
+            self.registry.publish(
+                plant.name,
+                "vmplant",
+                plant,
+                description=describe() if describe else None,
+            )
+
+    def discover_plants(self, kind: str = "vmplant") -> int:
+        """Adopt every matching service from the registry."""
+        if self.registry is None:
+            raise ShopError("no registry configured")
+        added = 0
+        known = {id(b) for b in self.bidders}
+        for entry in self.registry.discover(kind):
+            if id(entry.binding) not in known:
+                self.bidders.append(entry.binding)
+                added += 1
+        return added
+
+    # -- services --------------------------------------------------------------
+    def next_vmid(self) -> str:
+        """Allocate the next shop-unique VM identifier."""
+        self._seq += 1
+        return f"{self.name}-vm-{self._seq:05d}"
+
+    def create(
+        self,
+        request: CreateRequest,
+        clone_mode: Optional[CloneMode] = None,
+    ) -> Generator:
+        """Create a VM somewhere; returns its classad.
+
+        Raises :class:`ShopError` when no plant bids; plant-side
+        failures surface unless ``retry_other_plants`` is set, in
+        which case the next-best bidder is tried.
+        """
+        if self.use_xml:
+            # Exercise the prototype's XML service path end to end.
+            wire = service_request_to_xml(request, service="create")
+            service, request = service_request_from_xml(wire)
+            if service != "create":  # pragma: no cover - defensive
+                raise ShopError(f"unexpected service {service!r}")
+
+        bids = yield from self.collector.collect(self.bidders, request)
+        ranked = self.collector.rank(bids)
+        if not ranked:
+            raise ShopError("no plant bid for the request")
+
+        vmid = self.next_vmid()
+        trace(
+            self.env, "shop", "bids-collected",
+            vmid=vmid, bids=len(ranked), best=ranked[0].bidder_name,
+        )
+        last_error: Optional[ReproError] = None
+        candidates = ranked if self.retry_other_plants else ranked[:1]
+        for bid in candidates:
+            try:
+                ad = yield from self.transport.call(
+                    lambda b=bid: b.bidder.create(request, vmid, clone_mode)
+                )
+            except ReproError as exc:
+                self.creation_log.append((vmid, bid.bidder_name, False))
+                last_error = exc
+                continue
+            self._route[vmid] = bid.bidder
+            if self.cache_classads:
+                self._cache[vmid] = ad.copy()
+            self.creation_log.append((vmid, bid.bidder_name, True))
+            trace(
+                self.env, "shop", "created",
+                vmid=vmid, plant=bid.bidder_name,
+            )
+            return ad
+        assert last_error is not None
+        raise last_error
+
+    def estimate(self, request: CreateRequest) -> Generator:
+        """Collect and return all bids without creating anything."""
+        bids = yield from self.collector.collect(self.bidders, request)
+        return bids
+
+    def query(
+        self,
+        vmid: str,
+        attributes: Iterable[str] = (),
+        use_cache: bool = False,
+    ) -> Generator:
+        """Fetch a VM's classad (optionally served from the cache)."""
+        if use_cache and not tuple(attributes) and vmid in self._cache:
+            return self._cache[vmid].copy()
+        plant = self._plant_for(vmid)
+        ad = yield from self.transport.call(
+            lambda: plant.query(vmid, tuple(attributes))
+        )
+        if self.cache_classads and not tuple(attributes):
+            self._cache[vmid] = ad.copy()
+        return ad
+
+    def destroy(
+        self,
+        vmid: str,
+        commit: bool = False,
+        publish_as: Optional[str] = None,
+    ) -> Generator:
+        """Collect a VM; returns its final classad."""
+        plant = self._plant_for(vmid)
+        ad = yield from self.transport.call(
+            lambda: plant.destroy(vmid, commit, publish_as)
+        )
+        del self._route[vmid]
+        self._cache.pop(vmid, None)
+        return ad
+
+    # -- resilience ---------------------------------------------------------------
+    def recover(self) -> int:
+        """Rebuild VMID routing after a shop restart.
+
+        The shop holds no authoritative VM state (Section 3.1): each
+        plant's information system does.  Re-interrogating the plants
+        restores routing for every active VM; the classad cache
+        repopulates lazily.
+        """
+        self._route.clear()
+        self._cache.clear()
+        recovered = 0
+        for bidder in self.bidders:
+            infosys = getattr(bidder, "infosys", None)
+            if infosys is None:
+                continue
+            for vm in infosys.active():
+                self._route[vm.vmid] = bidder
+                recovered += 1
+        return recovered
+
+    def active_vmids(self) -> List[str]:
+        """VMIDs currently routed by this shop."""
+        return list(self._route)
+
+    def reroute(self, vmid: str, plant: Any) -> None:
+        """Point a VMID at a new plant (used after migration)."""
+        if vmid not in self._route:
+            raise ShopError(f"unknown VMID {vmid!r}")
+        self._route[vmid] = plant
+        self._cache.pop(vmid, None)
+
+    def _plant_for(self, vmid: str) -> Any:
+        try:
+            return self._route[vmid]
+        except KeyError:
+            raise ShopError(f"unknown VMID {vmid!r}") from None
+
+    def __repr__(self) -> str:
+        return (
+            f"<VMShop {self.name} plants={len(self.bidders)}"
+            f" active={len(self._route)}>"
+        )

@@ -1,0 +1,199 @@
+"""Builder for the simulated SC'04 experimental testbed.
+
+Section 4.2: an 8-node IBM e1350 cluster (dual 2.4 GHz P4, 1.5 GB RAM
+per node), each node running a VMPlant with a VMware GSX production
+line; the warehouse is NFS-mounted from a RAID5 storage server over
+100 Mbit/s switched Ethernet; the VMShop runs on a cluster node.
+
+:func:`build_testbed` assembles the whole site — hosts, shared NFS
+path, warehouse with the paper's golden machines, plants, shop — and
+returns a :class:`Testbed` handle the experiments drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cost.models import CostModel, MemoryAvailableCost
+from repro.plant.vmplant import VMPlant
+from repro.plant.warehouse import GoldenImage, VMWarehouse
+from repro.shop.protocol import Transport
+from repro.shop.registry import ServiceRegistry
+from repro.shop.vmshop import VMShop
+from repro.sim.host import PhysicalHost
+from repro.sim.hypervisor import CloneRecord, UMLLine, VMwareLine
+from repro.sim.kernel import Environment
+from repro.sim.latency import DEFAULT_LATENCY, LatencyModel
+from repro.sim.network import FairShareLink
+from repro.sim.rng import RngHub
+from repro.sim.storage import NFSServer, ReplicatedWarehouseStorage
+from repro.vnet.hostonly import HostOnlyNetworkPool
+from repro.vnet.vnetd import VirtualNetworkService
+from repro.workloads.requests import golden_image
+
+__all__ = ["Testbed", "build_testbed", "run_process"]
+
+
+def run_process(env: Environment, generator) -> object:
+    """Drive one process generator to completion; return its value."""
+    proc = env.process(generator)
+    return env.run(until=proc)
+
+
+@dataclass
+class Testbed:
+    """Handle to an assembled simulated site."""
+
+    env: Environment
+    rng: RngHub
+    latency: LatencyModel
+    shop: VMShop
+    plants: List[VMPlant]
+    hosts: List[PhysicalHost]
+    nfs: NFSServer
+    warehouse: VMWarehouse
+    registry: ServiceRegistry
+    vnet: VirtualNetworkService
+    #: Gigabit inter-node network (used by VM migration).
+    internode: FairShareLink = None
+    lines: Dict[str, List[object]] = field(default_factory=dict)
+
+    def run(self, generator) -> object:
+        """Drive one process generator to completion on this env."""
+        return run_process(self.env, generator)
+
+    def attach_tracer(self, capacity: Optional[int] = None):
+        """Attach (and return) a structured event tracer."""
+        from repro.sim.trace import Tracer
+
+        tracer = Tracer(capacity=capacity)
+        self.env.tracer = tracer
+        return tracer
+
+    def clone_records(self, vm_type: Optional[str] = None) -> List[CloneRecord]:
+        """All clone records across plants, in start order."""
+        records: List[CloneRecord] = []
+        for vt, line_list in self.lines.items():
+            if vm_type is not None and vt != vm_type:
+                continue
+            for line in line_list:
+                records.extend(line.clone_records)
+        records.sort(key=lambda r: r.started_at)
+        return records
+
+
+def build_testbed(
+    seed: int = 0,
+    n_plants: int = 8,
+    memory_sizes: Sequence[int] = (32, 64, 256),
+    vm_types: Sequence[str] = ("vmware",),
+    latency: LatencyModel = DEFAULT_LATENCY,
+    cost_model: Optional[CostModel] = None,
+    clone_failure_prob: float = 0.0,
+    action_failure_prob: float = 0.0,
+    host_memory_mb: float = 1536.0,
+    networks_per_plant: int = 4,
+    max_vms_per_plant: Optional[int] = None,
+    extra_images: Sequence[GoldenImage] = (),
+    retry_other_plants: bool = False,
+    nfs_replicas: int = 1,
+) -> Testbed:
+    """Assemble the simulated site.
+
+    The default arguments reproduce the paper's setup; experiments
+    override ``clone_failure_prob`` (per-run), ``vm_types`` (the UML
+    study) and the cost model (Section 3.4 illustration).
+    """
+    if n_plants <= 0:
+        raise ValueError("n_plants must be positive")
+    env = Environment()
+    rng = RngHub(seed)
+    registry = ServiceRegistry()
+    vnet = VirtualNetworkService()
+    if nfs_replicas < 1:
+        raise ValueError("nfs_replicas must be >= 1")
+    if nfs_replicas == 1:
+        nfs = NFSServer(env, "nfs", latency=latency, rng=rng)
+    else:
+        nfs = ReplicatedWarehouseStorage(
+            [
+                NFSServer(env, f"nfs{i}", latency=latency, rng=rng)
+                for i in range(nfs_replicas)
+            ]
+        )
+    # The cluster nodes are interconnected by a gigabit switch
+    # (Section 4.2); migrations move VM state across it.
+    internode = FairShareLink(env, "internode", bandwidth_mbps=110.0)
+
+    warehouse = VMWarehouse()
+    for vm_type in vm_types:
+        for memory in memory_sizes:
+            warehouse.publish(golden_image(memory, vm_type=vm_type))
+    for image in extra_images:
+        warehouse.publish(image)
+
+    transport = Transport(
+        env, rng, latency_s=latency.transport_latency_s
+    )
+    shop = VMShop(
+        env,
+        "vmshop",
+        transport=transport,
+        rng=rng,
+        registry=registry,
+        retry_other_plants=retry_other_plants,
+    )
+
+    hosts: List[PhysicalHost] = []
+    plants: List[VMPlant] = []
+    lines_by_type: Dict[str, List[object]] = {vt: [] for vt in vm_types}
+    for i in range(n_plants):
+        host = PhysicalHost(
+            env, f"node{i}", memory_mb=host_memory_mb, latency=latency
+        )
+        hosts.append(host)
+        lines = {}
+        for vm_type in vm_types:
+            line_cls = VMwareLine if vm_type == "vmware" else UMLLine
+            line = line_cls(
+                env,
+                host,
+                nfs,
+                rng=rng,
+                latency=latency,
+                clone_failure_prob=clone_failure_prob,
+                action_failure_prob=action_failure_prob,
+            )
+            lines[vm_type] = line
+            lines_by_type[vm_type].append(line)
+        plant = VMPlant(
+            env,
+            f"plant{i}",
+            warehouse,
+            lines,
+            cost_model=cost_model or MemoryAvailableCost(),
+            host_memory_mb=int(host_memory_mb),
+            max_vms=max_vms_per_plant,
+            network_pool=HostOnlyNetworkPool(
+                f"plant{i}", count=networks_per_plant
+            ),
+            vnet_service=vnet,
+        )
+        plants.append(plant)
+        shop.register_plant(plant)
+
+    return Testbed(
+        env=env,
+        rng=rng,
+        latency=latency,
+        shop=shop,
+        plants=plants,
+        hosts=hosts,
+        nfs=nfs,
+        warehouse=warehouse,
+        registry=registry,
+        vnet=vnet,
+        internode=internode,
+        lines=lines_by_type,
+    )

@@ -1,0 +1,106 @@
+"""Physical host model: memory accounting, pressure, local disk.
+
+Each cluster node (dual-P4, 1.5 GB RAM in the paper's testbed) hosts
+one VMPlant and its clones.  Two mechanisms matter for the measured
+behaviour:
+
+* **memory pressure** — once committed VM memory (guest sizes plus a
+  per-VM VMM overhead and the host OS reserve) exceeds a threshold
+  fraction of physical memory, memory-intensive operations (state
+  copies, resume) slow down linearly, reproducing the load-dependent
+  cloning-time growth of Figure 6;
+* **local disk bandwidth** — clone state is written to, and resumed
+  from, the node's SCSI disk.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.core.errors import PlantError
+from repro.sim.kernel import Environment
+from repro.sim.latency import DEFAULT_LATENCY, LatencyModel
+
+__all__ = ["PhysicalHost"]
+
+
+class PhysicalHost:
+    """One cluster node."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        memory_mb: float = 1536.0,
+        cpus: int = 2,
+        latency: LatencyModel = DEFAULT_LATENCY,
+    ):
+        if memory_mb <= 0:
+            raise ValueError("memory_mb must be positive")
+        if cpus <= 0:
+            raise ValueError("cpus must be positive")
+        self.env = env
+        self.name = name
+        self.memory_mb = memory_mb
+        self.cpus = cpus
+        self.latency = latency
+        #: Guest memory of admitted VMs (MB), excluding overheads.
+        self.committed_guest_mb = 0.0
+        self.vm_count = 0
+
+    # -- memory accounting ---------------------------------------------------
+    def admit_vm(self, guest_mb: float) -> None:
+        """Account for a new VM's memory footprint."""
+        if guest_mb <= 0:
+            raise PlantError(f"host {self.name}: bad guest size {guest_mb}")
+        self.committed_guest_mb += guest_mb
+        self.vm_count += 1
+
+    def release_vm(self, guest_mb: float) -> None:
+        """Return a collected VM's memory."""
+        if self.vm_count <= 0 or self.committed_guest_mb < guest_mb - 1e-9:
+            raise PlantError(
+                f"host {self.name}: releasing more memory than committed"
+            )
+        self.committed_guest_mb -= guest_mb
+        self.vm_count -= 1
+
+    def utilization(self, extra_mb: float = 0.0) -> float:
+        """Committed fraction of physical memory (incl. overheads)."""
+        lat = self.latency
+        used = (
+            lat.host_os_reserve_mb
+            + self.committed_guest_mb
+            + lat.vmm_overhead_per_vm_mb * self.vm_count
+            + extra_mb
+        )
+        return used / self.memory_mb
+
+    def pressure_factor(self, extra_mb: float = 0.0) -> float:
+        """Slowdown multiplier for memory-intensive operations (≥ 1)."""
+        util = self.utilization(extra_mb)
+        lat = self.latency
+        if util <= lat.pressure_threshold:
+            return 1.0
+        return 1.0 + lat.pressure_slope * (util - lat.pressure_threshold)
+
+    # -- local disk -------------------------------------------------------------
+    def disk_write(self, size_mb: float, pressured: bool = True) -> Generator:
+        """Write ``size_mb`` to the node's local disk."""
+        factor = self.pressure_factor() if pressured else 1.0
+        yield self.env.timeout(
+            size_mb / self.latency.host_disk_write_mbps * factor
+        )
+
+    def disk_read(self, size_mb: float, pressured: bool = True) -> Generator:
+        """Read ``size_mb`` from the node's local disk."""
+        factor = self.pressure_factor() if pressured else 1.0
+        yield self.env.timeout(
+            size_mb / self.latency.host_disk_read_mbps * factor
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<PhysicalHost {self.name} vms={self.vm_count}"
+            f" util={self.utilization():.2f}>"
+        )

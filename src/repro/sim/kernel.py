@@ -1,0 +1,479 @@
+"""Deterministic discrete-event simulation kernel.
+
+A small, self-contained process-based DES kernel in the style of SimPy,
+built from scratch for this reproduction.  Simulation *processes* are
+Python generators that ``yield`` :class:`Event` objects; the kernel
+resumes a process when the event it waits on fires.  Event ordering is
+fully deterministic: ties in time are broken by priority and then by a
+monotonically increasing event id, so a given seed always produces the
+same trajectory.
+
+Typical usage::
+
+    env = Environment()
+
+    def worker(env):
+        yield env.timeout(3.0)
+        return "done"
+
+    proc = env.process(worker(env))
+    env.run()
+    assert env.now == 3.0 and proc.value == "done"
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "SimulationError",
+    "Interrupt",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Environment",
+]
+
+#: Default priority for ordinary events.
+PRIORITY_NORMAL = 1
+#: Priority used for urgent bookkeeping events (process resumption).
+PRIORITY_URGENT = 0
+
+
+class SimulationError(Exception):
+    """Raised for kernel misuse (double trigger, running a dead process)."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; it is *triggered* when :meth:`succeed`
+    or :meth:`fail` schedules it, and *processed* once the kernel has
+    invoked its callbacks.  Each event may be triggered exactly once.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        #: True once failure has been delivered to at least one waiter.
+        self.defused = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._ok is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception, for failed events)."""
+        if self._ok is None:
+            raise SimulationError("event not yet triggered")
+        return self._value
+
+    # -- triggering -----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Schedule the event to fire successfully with ``value``."""
+        if self._ok is not None:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Schedule the event to fire as a failure carrying ``exception``."""
+        if self._ok is not None:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger with the state of another (triggered) event."""
+        if event._ok is None:
+            raise SimulationError("source event not triggered")
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    # -- composition ----------------------------------------------------
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.env, [self, other])
+
+    def __repr__(self) -> str:
+        state = (
+            "pending"
+            if self._ok is None
+            else ("ok" if self._ok else "failed")
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay}>"
+
+
+class Initialize(Event):
+    """Internal event that starts a freshly created process."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        env.schedule(self, priority=PRIORITY_URGENT)
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    The process is itself an event that fires when the generator
+    returns (value = the generator's return value) or raises (failure
+    carrying the exception).
+    """
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        # Each registered wait carries a generation number; interrupts
+        # bump it, so a stale resumption (e.g. from an event processed
+        # in the same time step as the interrupt) is silently dropped.
+        self._generation = 0
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not terminated."""
+        return self._ok is None
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process currently waits on (None if running)."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a terminated process is an error; interrupting a
+        process that is waiting on an event detaches it from that event.
+        """
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a terminated process")
+        if self._generator.gi_frame is not None and self._generator.gi_running:
+            raise SimulationError("a process cannot interrupt itself")
+        interrupt_ev = Event(self.env)
+        interrupt_ev._ok = False
+        interrupt_ev._value = Interrupt(cause)
+        interrupt_ev.defused = True
+        # Invalidate any pending resumption registered for the event we
+        # were waiting on; its later firing is dropped by the
+        # generation check in _resume.
+        self._generation += 1
+        gen = self._generation
+        interrupt_ev.callbacks = [
+            lambda ev, gen=gen: self._resume(ev, gen)
+        ]
+        self.env.schedule(interrupt_ev, priority=PRIORITY_URGENT)
+
+    def _resume(self, event: Event, generation: Optional[int] = None) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        if generation is not None and generation != self._generation:
+            # Stale wake-up superseded by an interrupt.
+            if not event._ok:
+                event.defused = True
+            return
+        if not self.is_alive:
+            if not event._ok:
+                event.defused = True
+            return
+        self.env._active_proc = self
+        self._target = None
+        try:
+            if event._ok:
+                next_ev = self._generator.send(event._value)
+            else:
+                event.defused = True
+                next_ev = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.env._active_proc = None
+            self.succeed(getattr(stop, "value", None))
+            return
+        except BaseException as exc:
+            self.env._active_proc = None
+            self.fail(exc)
+            return
+        self.env._active_proc = None
+
+        if not isinstance(next_ev, Event):
+            # Ill-typed yield: kill the process with a clear error.
+            err = SimulationError(
+                f"process yielded non-event {next_ev!r}"
+            )
+            try:
+                self._generator.close()
+            finally:
+                self.fail(err)
+            return
+        if next_ev.env is not self.env:
+            self._generator.close()
+            self.fail(SimulationError("event from a different environment"))
+            return
+
+        self._generation += 1
+        gen = self._generation
+        waiter = lambda ev, gen=gen: self._resume(ev, gen)  # noqa: E731
+        if next_ev.callbacks is not None:
+            # Pending: register for resumption when it fires.
+            self._target = next_ev
+            next_ev.callbacks.append(waiter)
+        else:
+            # Already processed: resume immediately at the current time.
+            resume_ev = Event(self.env)
+            resume_ev._ok = next_ev._ok
+            resume_ev._value = next_ev._value
+            if not next_ev._ok:
+                next_ev.defused = True
+                resume_ev.defused = True
+            resume_ev.callbacks = [waiter]
+            self._target = next_ev
+            self.env.schedule(resume_ev, priority=PRIORITY_URGENT)
+
+    def __repr__(self) -> str:
+        name = getattr(self._generator, "__name__", "process")
+        state = "alive" if self.is_alive else "dead"
+        return f"<Process {name} {state}>"
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composition events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events: Tuple[Event, ...] = tuple(events)
+        for ev in self.events:
+            if ev.env is not env:
+                raise SimulationError("event from a different environment")
+        self._count = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _satisfied(self, count: int, total: int) -> bool:
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event.defused = True
+            return
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._satisfied(self._count, len(self.events)):
+            self.succeed(self._collect())
+
+    def _collect(self) -> dict:
+        # Only events whose callbacks already ran count as "fired":
+        # a Timeout pre-sets its ok flag at creation, so .triggered
+        # alone would leak not-yet-elapsed timeouts into the result.
+        return {
+            ev: ev._value
+            for ev in self.events
+            if ev.processed and ev._ok
+        }
+
+
+class AllOf(_Condition):
+    """Fires when *all* component events have fired successfully."""
+
+    def _satisfied(self, count: int, total: int) -> bool:
+        return count == total
+
+
+class AnyOf(_Condition):
+    """Fires when *any* component event has fired successfully."""
+
+    def _satisfied(self, count: int, total: int) -> bool:
+        return count >= 1
+
+
+def _defuse(event: Event) -> None:
+    """Callback marking a failure as handled by an external waiter."""
+    event.defused = True
+
+
+class EmptySchedule(Exception):
+    """Internal: the event queue ran dry."""
+
+
+class Environment:
+    """Execution environment: clock plus the pending-event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_proc: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being advanced, if any."""
+        return self._active_proc
+
+    # -- factories ------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing after ``delay`` time units."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    # -- scheduling -----------------------------------------------------
+    def schedule(
+        self,
+        event: Event,
+        priority: int = PRIORITY_NORMAL,
+        delay: float = 0.0,
+    ) -> None:
+        """Enqueue ``event`` to fire ``delay`` after the current time."""
+        self._eid += 1
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, self._eid, event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when idle."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        if not self._queue:
+            raise EmptySchedule()
+        when, _prio, _eid, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        for callback in callbacks or ():
+            callback(event)
+        if event._ok is False and not event.defused:
+            # An un-waited-for failure must not pass silently.
+            raise event._value
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until no events remain), a number
+        (run until that simulation time), or an :class:`Event` (run
+        until it fires, returning its value).
+        """
+        stop_at: Optional[float] = None
+        stop_event: Optional[Event] = None
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            stop_event = until
+        else:
+            stop_at = float(until)
+            if stop_at < self._now:
+                raise ValueError(
+                    f"until ({stop_at}) must not be before now ({self._now})"
+                )
+        if stop_event is not None and stop_event.callbacks is not None:
+            # run() itself is the waiter: a failure is re-raised below
+            # rather than at step() time.
+            stop_event.callbacks.append(_defuse)
+
+        while True:
+            if stop_event is not None and stop_event.processed:
+                if not stop_event._ok:
+                    raise stop_event._value
+                return stop_event._value
+            if not self._queue:
+                if stop_event is not None:
+                    raise SimulationError(
+                        "run(until=event): queue empty before event fired"
+                    )
+                return None
+            if stop_at is not None and self._queue[0][0] > stop_at:
+                self._now = stop_at
+                return None
+            self.step()
+
+    def __repr__(self) -> str:
+        return f"<Environment now={self._now} pending={len(self._queue)}>"

@@ -1,0 +1,153 @@
+"""Bandwidth-shared network links (processor-sharing flow model).
+
+The testbed's 100 Mbit/s NFS path and gigabit inter-node switch are
+modelled as :class:`FairShareLink` instances: concurrent transfers
+share the link bandwidth equally, and a flow's completion time is
+recomputed whenever the flow population changes — the standard
+processor-sharing fluid approximation, implemented event-driven so it
+is exact for piecewise-constant populations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+from repro.sim.kernel import Environment, Event
+
+__all__ = ["FairShareLink"]
+
+
+class _Flow:
+    __slots__ = ("flow_id", "remaining", "event", "size")
+
+    def __init__(self, flow_id: int, size: float, event: Event):
+        self.flow_id = flow_id
+        self.size = size
+        self.remaining = size
+        self.event = event
+
+
+class FairShareLink:
+    """A link of ``bandwidth_mbps`` MB/s shared fairly among flows."""
+
+    #: Completion slack for floating-point drain arithmetic.
+    _EPS = 1e-9
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        bandwidth_mbps: float,
+        latency_s: float = 0.0,
+    ):
+        if bandwidth_mbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        self.env = env
+        self.name = name
+        self.bandwidth_mbps = bandwidth_mbps
+        self.latency_s = latency_s
+        self._flows: Dict[int, _Flow] = {}
+        self._next_id = 0
+        self._last_update = env.now
+        self._timer_gen = 0
+        # Accounting for utilization reports.
+        self.total_mb = 0.0
+        self.busy_time = 0.0
+        self._busy_since: Optional[float] = None
+
+    # -- public API --------------------------------------------------------
+    @property
+    def active_flows(self) -> int:
+        """Number of in-flight transfers."""
+        return len(self._flows)
+
+    def transfer(self, size_mb: float) -> Event:
+        """Start a transfer; the returned event fires at completion."""
+        if size_mb < 0:
+            raise ValueError("size must be non-negative")
+        done = self.env.event()
+        if self.latency_s > 0:
+            self.env.process(self._delayed_start(size_mb, done))
+        else:
+            self._start_flow(size_mb, done)
+        return done
+
+    def transfer_proc(self, size_mb: float) -> Generator:
+        """Generator form for ``yield from`` composition."""
+        yield self.transfer(size_mb)
+
+    def utilization(self) -> float:
+        """Fraction of elapsed time the link was busy."""
+        now = self.env.now
+        busy = self.busy_time
+        if self._busy_since is not None:
+            busy += now - self._busy_since
+        return busy / now if now > 0 else 0.0
+
+    # -- internals -------------------------------------------------------------
+    def _delayed_start(self, size_mb: float, done: Event) -> Generator:
+        yield self.env.timeout(self.latency_s)
+        self._start_flow(size_mb, done)
+
+    def _start_flow(self, size_mb: float, done: Event) -> None:
+        self._drain()
+        if size_mb <= self._EPS:
+            done.succeed()
+            return
+        self._next_id += 1
+        flow = _Flow(self._next_id, size_mb, done)
+        if not self._flows:
+            self._busy_since = self.env.now
+        self._flows[flow.flow_id] = flow
+        self.total_mb += size_mb
+        self._reschedule()
+
+    def _rate(self) -> float:
+        return self.bandwidth_mbps / len(self._flows)
+
+    def _drain(self) -> None:
+        """Advance all flows to the current time."""
+        now = self.env.now
+        elapsed = now - self._last_update
+        self._last_update = now
+        if not self._flows or elapsed <= 0:
+            return
+        rate = self._rate()
+        for flow in self._flows.values():
+            flow.remaining -= rate * elapsed
+
+    def _complete_due(self) -> None:
+        done = [
+            f for f in self._flows.values() if f.remaining <= self._EPS
+        ]
+        for flow in done:
+            del self._flows[flow.flow_id]
+            flow.event.succeed()
+        if not self._flows and self._busy_since is not None:
+            self.busy_time += self.env.now - self._busy_since
+            self._busy_since = None
+
+    def _reschedule(self) -> None:
+        self._timer_gen += 1
+        if not self._flows:
+            return
+        gen = self._timer_gen
+        min_remaining = min(f.remaining for f in self._flows.values())
+        delay = max(0.0, min_remaining / self._rate())
+        self.env.process(self._timer(gen, delay))
+
+    def _timer(self, gen: int, delay: float) -> Generator:
+        yield self.env.timeout(delay)
+        if gen != self._timer_gen:
+            return  # superseded by a population change
+        self._drain()
+        self._complete_due()
+        self._reschedule()
+
+    def __repr__(self) -> str:
+        return (
+            f"<FairShareLink {self.name} {self.bandwidth_mbps}MB/s"
+            f" flows={len(self._flows)}>"
+        )

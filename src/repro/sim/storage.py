@@ -1,0 +1,157 @@
+"""The NFS warehouse server and its shared network path.
+
+The paper's warehouse is an NFS mount served by a RAID5 storage server
+over 100 Mbit/s switched Ethernet.  Cloning a golden machine reads its
+per-clone state (configuration file, base redo log, suspended memory
+image) across this path; the full-disk-copy ablation reads all 16 disk
+files too.  Transfers from all eight plants share the link fairly.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.sim.host import PhysicalHost
+from repro.sim.kernel import Environment
+from repro.sim.latency import DEFAULT_LATENCY, LatencyModel
+from repro.sim.network import FairShareLink
+from repro.sim.rng import RngHub
+
+__all__ = ["NFSServer", "ReplicatedWarehouseStorage"]
+
+
+class NFSServer:
+    """Warehouse storage server with a fair-shared uplink."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str = "nfs",
+        latency: LatencyModel = DEFAULT_LATENCY,
+        rng: Optional[RngHub] = None,
+        link: Optional[FairShareLink] = None,
+    ):
+        self.env = env
+        self.name = name
+        self.latency = latency
+        self.rng = rng or RngHub(0)
+        self.link = link or FairShareLink(
+            env, f"{name}-uplink", latency.nfs_link_mbps
+        )
+        self.requests_served = 0
+        self.mb_served = 0.0
+
+    def _overhead(self) -> float:
+        base = self.latency.nfs_request_overhead_s
+        sigma = self.latency.op_jitter_sigma
+        return base * self.rng.lognormal(f"{self.name}/overhead", 0.0, sigma)
+
+    def read_file(self, size_mb: float) -> Generator:
+        """Serve one file read: request overhead + shared transfer."""
+        yield self.env.timeout(self._overhead())
+        yield self.link.transfer(size_mb)
+        self.requests_served += 1
+        self.mb_served += size_mb
+
+    def copy_to_host(
+        self,
+        size_mb: float,
+        host: PhysicalHost,
+        files: int = 1,
+        pressured: bool = True,
+    ) -> Generator:
+        """Copy warehouse state to a node's local disk.
+
+        The transfer is pipelined with the local write, so the elapsed
+        time is dominated by the slower stage; we charge the network
+        stage in full and only the *excess* write time beyond it —
+        which is what makes memory pressure visible even though the
+        NFS link is nominally the bottleneck.
+        """
+        start = self.env.now
+        for _ in range(max(1, files)):
+            yield self.env.timeout(self._overhead())
+        yield self.link.transfer(size_mb)
+        self.requests_served += max(1, files)
+        self.mb_served += size_mb
+        network_time = self.env.now - start
+        factor = host.pressure_factor() if pressured else 1.0
+        write_time = (
+            size_mb / self.latency.host_disk_write_mbps * factor
+        )
+        if write_time > network_time:
+            yield self.env.timeout(write_time - network_time)
+
+    def __repr__(self) -> str:
+        return (
+            f"<NFSServer {self.name} served={self.requests_served}req/"
+            f"{self.mb_served:.0f}MB>"
+        )
+
+
+class ReplicatedWarehouseStorage:
+    """Warehouse state served from several replica servers.
+
+    Section 3.2 points to "a VM-Warehouse based on virtualized
+    distributed file systems" as ongoing work; the observable effect
+    is that clone-state reads spread over replicas instead of queueing
+    on one NFS path.  Each transfer goes to the replica whose uplink
+    currently carries the fewest flows (ties to the first), which is
+    what a read-only replica set with client-side selection achieves.
+
+    Drop-in for :class:`NFSServer` wherever only ``read_file`` /
+    ``copy_to_host`` are used (the production lines).
+    """
+
+    def __init__(self, replicas: "list[NFSServer]"):
+        if not replicas:
+            raise ValueError("at least one replica is required")
+        self.replicas = list(replicas)
+        # In-flight request count per replica: link.active_flows alone
+        # misses requests still in their per-file overhead phase.
+        self._inflight = {id(r): 0 for r in self.replicas}
+
+    def _pick(self) -> NFSServer:
+        return min(
+            self.replicas,
+            key=lambda r: (self._inflight[id(r)], r.link.active_flows),
+        )
+
+    @property
+    def requests_served(self) -> int:
+        """Aggregate request count across replicas."""
+        return sum(r.requests_served for r in self.replicas)
+
+    @property
+    def mb_served(self) -> float:
+        """Aggregate data served across replicas."""
+        return sum(r.mb_served for r in self.replicas)
+
+    def read_file(self, size_mb: float) -> Generator:
+        """Serve one file read from the least-loaded replica."""
+        replica = self._pick()
+        self._inflight[id(replica)] += 1
+        try:
+            yield from replica.read_file(size_mb)
+        finally:
+            self._inflight[id(replica)] -= 1
+
+    def copy_to_host(
+        self,
+        size_mb: float,
+        host: PhysicalHost,
+        files: int = 1,
+        pressured: bool = True,
+    ) -> Generator:
+        """Copy state to a node from the least-loaded replica."""
+        replica = self._pick()
+        self._inflight[id(replica)] += 1
+        try:
+            yield from replica.copy_to_host(
+                size_mb, host, files=files, pressured=pressured
+            )
+        finally:
+            self._inflight[id(replica)] -= 1
+
+    def __repr__(self) -> str:
+        return f"<ReplicatedWarehouseStorage x{len(self.replicas)}>"

@@ -1,0 +1,77 @@
+"""Gateway deployment scenario: private plants behind SSH tunnels.
+
+Section 3.3 describes site policies where VMPlants live in a private
+network, reachable only through a VMShop running on a *gateway* host;
+statically established SSH tunnels map public gateway ports to the
+VNET server ports on the private plants.  This module models that
+port-forwarding table so deployments can be validated: every plant's
+VNET server must be reachable through exactly one public port, and a
+client proxy connecting to the gateway port reaches the right plant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.errors import VNetError
+from repro.vnet.vnetd import VNetServer
+
+__all__ = ["SSHTunnel", "Gateway"]
+
+
+@dataclass(frozen=True)
+class SSHTunnel:
+    """One static port forward: gateway:public_port → plant:target_port."""
+
+    public_port: int
+    plant_name: str
+    target_host: str
+    target_port: int
+
+
+class Gateway:
+    """The public entry point to a site of private VMPlants."""
+
+    def __init__(self, host: str, first_public_port: int = 40000):
+        self.host = host
+        self._next_port = first_public_port
+        self._tunnels: Dict[int, SSHTunnel] = {}
+        self._by_plant: Dict[str, SSHTunnel] = {}
+
+    def establish_tunnel(self, server: VNetServer) -> SSHTunnel:
+        """Create (or return) the static tunnel to a plant's VNET server."""
+        existing = self._by_plant.get(server.plant_name)
+        if existing is not None:
+            return existing
+        port = self._next_port
+        self._next_port += 1
+        tunnel = SSHTunnel(
+            public_port=port,
+            plant_name=server.plant_name,
+            target_host=server.host,
+            target_port=server.port,
+        )
+        self._tunnels[port] = tunnel
+        self._by_plant[server.plant_name] = tunnel
+        return tunnel
+
+    def resolve(self, public_port: int) -> SSHTunnel:
+        """Which plant does a gateway port lead to?"""
+        try:
+            return self._tunnels[public_port]
+        except KeyError:
+            raise VNetError(
+                f"no tunnel on gateway port {public_port}"
+            ) from None
+
+    def endpoint_for(self, plant_name: str) -> Optional[str]:
+        """Public ``host:port`` a client proxy should dial for a plant."""
+        tunnel = self._by_plant.get(plant_name)
+        if tunnel is None:
+            return None
+        return f"{self.host}:{tunnel.public_port}"
+
+    def tunnels(self) -> List[SSHTunnel]:
+        """All established tunnels."""
+        return list(self._tunnels.values())

@@ -1,0 +1,21 @@
+"""Workload builders: request streams and canonical DAGs."""
+
+from repro.workloads.invigo import (
+    invigo_cached_prefix,
+    invigo_workspace_dag,
+)
+from repro.workloads.requests import (
+    experiment_dag,
+    experiment_request,
+    golden_image,
+    request_stream,
+)
+
+__all__ = [
+    "experiment_dag",
+    "experiment_request",
+    "golden_image",
+    "invigo_cached_prefix",
+    "invigo_workspace_dag",
+    "request_stream",
+]

@@ -1,0 +1,93 @@
+"""Shared test fixtures: a deterministic instant production line.
+
+``InstantLine`` implements the ProductionLine interface with constant,
+configurable behaviour so PPP/plant/shop logic can be tested without
+the simulated hypervisor's stochastic timing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Set
+
+from repro.core.actions import Action, ActionResult, ActionStatus
+from repro.core.errors import PlantError
+from repro.core.spec import CreateRequest
+from repro.plant.guest import fabricate_outputs
+from repro.plant.production import CloneMode, ProductionLine, VirtualMachine
+from repro.sim.kernel import Environment
+
+
+class InstantLine(ProductionLine):
+    """Production line with fixed costs and scriptable failures."""
+
+    vm_type = "vmware"
+
+    def __init__(
+        self,
+        env: Environment,
+        clone_time: float = 10.0,
+        action_time: float = 2.0,
+        fail_clones: int = 0,
+        fail_actions: Optional[Set[str]] = None,
+        fail_action_times: int = 10 ** 9,
+        vm_type: str = "vmware",
+    ):
+        self.env = env
+        self.clone_time = clone_time
+        self.action_time = action_time
+        self.fail_clones = fail_clones
+        self.fail_actions = set(fail_actions or ())
+        #: How many times a failing action fails before succeeding.
+        self.fail_action_times = fail_action_times
+        self.vm_type = vm_type
+        self.cloned: List[str] = []
+        self.collected: List[str] = []
+        self.executed: List[str] = []
+        self._action_failures: Dict[str, int] = {}
+
+    def clone(
+        self, vm: VirtualMachine, mode: CloneMode = CloneMode.LINK
+    ) -> Generator:
+        yield self.env.timeout(self.clone_time)
+        if self.fail_clones > 0:
+            self.fail_clones -= 1
+            raise PlantError(f"injected clone failure for {vm.vmid}")
+        self.cloned.append(vm.vmid)
+        vm.backend = {"mode": mode}
+
+    def execute_action(
+        self,
+        vm: VirtualMachine,
+        action: Action,
+        context: Dict[str, str],
+    ) -> Generator:
+        yield self.env.timeout(self.action_time)
+        self.executed.append(action.name)
+        if action.name in self.fail_actions:
+            count = self._action_failures.get(action.name, 0) + 1
+            self._action_failures[action.name] = count
+            if count <= self.fail_action_times:
+                return ActionResult(
+                    action=action.name,
+                    status=ActionStatus.FAILED,
+                    message="injected action failure",
+                )
+        outputs = fabricate_outputs(action, context)
+        return ActionResult(
+            action=action.name,
+            status=ActionStatus.OK,
+            outputs=tuple(sorted(outputs.items())),
+        )
+
+    def collect(self, vm: VirtualMachine) -> Generator:
+        yield self.env.timeout(0.0)
+        self.collected.append(vm.vmid)
+
+    def can_host(self, request: CreateRequest) -> bool:
+        return True
+
+
+def drive(env: Environment, generator):
+    """Run one process to completion and return its value."""
+    proc = env.process(generator)
+    return env.run(until=proc)

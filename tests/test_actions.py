@@ -1,0 +1,104 @@
+"""Unit tests for the Action value object."""
+
+import pytest
+
+from repro.core.actions import (
+    Action,
+    ActionResult,
+    ActionScope,
+    ActionStatus,
+    ErrorPolicy,
+)
+
+
+class TestAction:
+    def test_defaults(self):
+        action = Action("setup")
+        assert action.scope is ActionScope.GUEST
+        assert action.on_error is ErrorPolicy.FAIL
+        assert action.retries == 0
+        assert action.params == ()
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Action("")
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            Action("x", retries=-1)
+
+    def test_params_canonicalized(self):
+        a = Action("x", params={"b": 2, "a": 1})
+        b = Action("x", params={"a": 1, "b": 2})
+        assert a == b
+        assert a.params == (("a", "1"), ("b", "2"))
+
+    def test_param_dict_view(self):
+        action = Action("x", params={"user": "alice"})
+        assert action.param_dict == {"user": "'alice'"}
+
+    def test_signature_stable_across_param_order(self):
+        a = Action("x", command="c", params={"p": 1, "q": 2})
+        b = Action("x", command="c", params={"q": 2, "p": 1})
+        assert a.signature == b.signature
+
+    def test_signature_differs_on_content(self):
+        base = Action("x", command="c")
+        assert base.signature != Action("x", command="d").signature
+        assert base.signature != Action(
+            "x", command="c", scope=ActionScope.HOST
+        ).signature
+        assert base.signature != Action(
+            "x", command="c", params={"k": 1}
+        ).signature
+
+    def test_signature_ignores_error_policy(self):
+        # Error handling is orchestration, not machine state.
+        a = Action("x", command="c", on_error=ErrorPolicy.FAIL)
+        b = Action("x", command="c", on_error=ErrorPolicy.RETRY, retries=3)
+        assert a.signature == b.signature
+
+    def test_rendered_command_substitutes_strings(self):
+        action = Action(
+            "x", command="useradd {user}", params={"user": "alice"}
+        )
+        assert action.rendered_command() == "useradd alice"
+
+    def test_rendered_command_substitutes_numbers(self):
+        action = Action(
+            "x", command="mem {mb}", params={"mb": 64}
+        )
+        assert action.rendered_command() == "mem 64"
+
+    def test_rendered_command_unbound_param_raises(self):
+        action = Action("x", command="use {missing}")
+        with pytest.raises(ValueError, match="unbound"):
+            action.rendered_command()
+
+    def test_enum_coercion_from_strings(self):
+        action = Action("x", scope="host", on_error="retry", retries=1)
+        assert action.scope is ActionScope.HOST
+        assert action.on_error is ErrorPolicy.RETRY
+
+    def test_str_form(self):
+        assert str(Action("setup", scope=ActionScope.HOST)) == "setup[host]"
+
+    def test_hashable_and_frozen(self):
+        action = Action("x")
+        assert hash(action) == hash(Action("x"))
+        with pytest.raises(Exception):
+            action.name = "y"  # type: ignore[misc]
+
+
+class TestActionResult:
+    def test_ok_statuses(self):
+        assert ActionResult("a", ActionStatus.OK).ok
+        assert ActionResult("a", ActionStatus.CACHED).ok
+        assert not ActionResult("a", ActionStatus.FAILED).ok
+        assert not ActionResult("a", ActionStatus.SKIPPED).ok
+
+    def test_output_dict(self):
+        result = ActionResult(
+            "a", ActionStatus.OK, outputs=(("ip", "10.0.0.1"),)
+        )
+        assert result.output_dict == {"ip": "10.0.0.1"}

@@ -1,0 +1,220 @@
+"""Unit tests for the configuration DAG."""
+
+import pytest
+
+from repro.core.actions import Action
+from repro.core.dag import FINISH, START, ConfigDAG
+from repro.core.errors import DAGError
+
+
+def chain(*names):
+    return ConfigDAG.from_sequence(Action(n) for n in names)
+
+
+def diamond():
+    """a → {b, c} → d."""
+    dag = ConfigDAG()
+    for n in "abcd":
+        dag.add_action(Action(n))
+    dag.add_edge("a", "b")
+    dag.add_edge("a", "c")
+    dag.add_edge("b", "d")
+    dag.add_edge("c", "d")
+    return dag
+
+
+class TestConstruction:
+    def test_duplicate_action_rejected(self):
+        dag = ConfigDAG().add_action(Action("a"))
+        with pytest.raises(DAGError):
+            dag.add_action(Action("a"))
+
+    def test_reserved_names_rejected(self):
+        for name in (START, FINISH):
+            with pytest.raises(DAGError):
+                ConfigDAG().add_action(Action(name))
+
+    def test_edge_to_unknown_node_rejected(self):
+        dag = ConfigDAG().add_action(Action("a"))
+        with pytest.raises(DAGError):
+            dag.add_edge("a", "ghost")
+
+    def test_self_edge_rejected(self):
+        dag = ConfigDAG().add_action(Action("a"))
+        with pytest.raises(DAGError):
+            dag.add_edge("a", "a")
+
+    def test_cycle_rejected_at_add_edge(self):
+        dag = chain("a", "b", "c")
+        with pytest.raises(DAGError, match="cycle"):
+            dag.add_edge("c", "a")
+
+    def test_duplicate_edge_idempotent(self):
+        dag = chain("a", "b")
+        dag.add_edge("a", "b")
+        assert dag.edges() == [("a", "b")]
+
+    def test_from_sequence_builds_chain(self):
+        dag = chain("x", "y", "z")
+        assert dag.edges() == [("x", "y"), ("y", "z")]
+
+    def test_len_contains_iter(self):
+        dag = chain("a", "b")
+        assert len(dag) == 2
+        assert "a" in dag and "ghost" not in dag
+        assert list(dag) == ["a", "b"]
+
+    def test_action_lookup_unknown_raises(self):
+        with pytest.raises(DAGError):
+            ConfigDAG().action("missing")
+
+
+class TestOrder:
+    def test_topological_sort_respects_edges(self):
+        dag = diamond()
+        order = dag.topological_sort()
+        for u, v in dag.edges():
+            assert order.index(u) < order.index(v)
+
+    def test_topological_sort_lexicographic_ties(self):
+        dag = ConfigDAG()
+        for n in ("zeta", "alpha", "mid"):
+            dag.add_action(Action(n))
+        assert dag.topological_sort() == ["alpha", "mid", "zeta"]
+
+    def test_ancestors_descendants(self):
+        dag = diamond()
+        assert dag.ancestors("d") == {"a", "b", "c"}
+        assert dag.descendants("a") == {"b", "c", "d"}
+        assert dag.ancestors("a") == set()
+
+    def test_is_before(self):
+        dag = diamond()
+        assert dag.is_before("a", "d")
+        assert not dag.is_before("b", "c")
+        assert not dag.is_before("d", "a")
+
+    def test_sources_sinks(self):
+        dag = diamond()
+        assert dag.sources() == ["a"]
+        assert dag.sinks() == ["d"]
+
+    def test_guest_host_partition(self):
+        dag = ConfigDAG()
+        dag.add_action(Action("h", scope="host"))
+        dag.add_action(Action("g", scope="guest"))
+        assert dag.host_actions() == ["h"]
+        assert dag.guest_actions() == ["g"]
+
+
+class TestPrefixMachinery:
+    def test_prefix_set_detection(self):
+        dag = diamond()
+        assert dag.is_prefix_set([])
+        assert dag.is_prefix_set(["a"])
+        assert dag.is_prefix_set(["a", "b"])
+        assert dag.is_prefix_set(["a", "b", "c"])
+        assert not dag.is_prefix_set(["b"])  # missing prerequisite
+        assert not dag.is_prefix_set(["a", "d"])
+        assert not dag.is_prefix_set(["a", "ghost"])
+
+    def test_residual_after_orders_topologically(self):
+        dag = diamond()
+        assert dag.residual_after(["a"]) == ["b", "c", "d"]
+        assert dag.residual_after(["a", "c"]) == ["b", "d"]
+        assert dag.residual_after(["a", "b", "c", "d"]) == []
+
+    def test_residual_after_non_prefix_raises(self):
+        with pytest.raises(DAGError):
+            diamond().residual_after(["b"])
+
+    def test_prefixes_enumeration_diamond(self):
+        prefixes = set(diamond().prefixes())
+        expected = {
+            frozenset(),
+            frozenset("a"),
+            frozenset("ab"),
+            frozenset("ac"),
+            frozenset("abc"),
+            frozenset("abcd"),
+        }
+        assert prefixes == expected
+
+    def test_every_enumerated_prefix_is_valid(self):
+        dag = diamond()
+        for prefix in dag.prefixes():
+            assert dag.is_prefix_set(prefix)
+
+    def test_subdag_induces_edges_and_handlers(self):
+        dag = diamond()
+        handler = chain("fixup")
+        dag.attach_handler("b", handler)
+        sub = dag.subdag(["a", "b"])
+        assert set(sub.actions) == {"a", "b"}
+        assert sub.edges() == [("a", "b")]
+        assert sub.handler_for("b") == handler
+
+
+class TestHandlers:
+    def test_attach_handler_to_unknown_action_rejected(self):
+        dag = chain("a")
+        with pytest.raises(DAGError):
+            dag.attach_handler("ghost", chain("h"))
+
+    def test_handler_validated_on_attach(self):
+        dag = chain("a")
+        handler = chain("h1", "h2")
+        dag.attach_handler("a", handler)
+        assert dag.handler_for("a") is handler
+        assert dag.handler_for("ghost") is None if "ghost" in dag else True
+
+    def test_validate_recurses_into_handlers(self):
+        dag = chain("a")
+        dag.attach_handler("a", chain("h"))
+        dag.validate()  # must not raise
+
+
+class TestEquality:
+    def test_structural_equality_ignores_insertion_order(self):
+        d1 = ConfigDAG()
+        d1.add_action(Action("a")).add_action(Action("b"))
+        d1.add_edge("a", "b")
+        d2 = ConfigDAG()
+        d2.add_action(Action("b")).add_action(Action("a"))
+        d2.add_edge("a", "b")
+        assert d1 == d2
+        assert hash(d1) == hash(d2)
+
+    def test_content_difference_breaks_equality(self):
+        d1 = ConfigDAG().add_action(Action("a", command="x"))
+        d2 = ConfigDAG().add_action(Action("a", command="y"))
+        assert d1 != d2
+
+    def test_edge_difference_breaks_equality(self):
+        assert chain("a", "b") != ConfigDAG().add_action(
+            Action("a")
+        ).add_action(Action("b"))
+
+
+class TestDot:
+    def test_dot_renders_all_nodes_and_edges(self):
+        dag = diamond()
+        dot = dag.to_dot()
+        for node in "abcd":
+            assert f'"{node}"' in dot
+        assert '"a" -> "b"' in dot
+        assert '"__start__" -> "a"' in dot
+        assert '"d" -> "__finish__"' in dot
+
+    def test_dot_marks_scopes_and_handlers(self):
+        dag = ConfigDAG()
+        dag.add_action(Action("h", scope="host"))
+        dag.add_action(Action("g"))
+        dag.attach_handler("g", chain("fix"))
+        dot = dag.to_dot()
+        assert '"h" [label="h", shape=box];' in dot
+        assert "dashed" in dot
+
+    def test_dot_empty_dag(self):
+        dot = ConfigDAG().to_dot()
+        assert '"__start__" -> "__finish__"' in dot

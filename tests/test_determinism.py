@@ -1,0 +1,51 @@
+"""Bit-exact determinism of the whole reproduction pipeline.
+
+DESIGN.md promises that every figure regenerates identically for a
+given seed — these tests pin that contract, including across
+completely fresh testbeds.
+"""
+
+from repro.experiments.costfn import run_costfn
+from repro.experiments.runner import run_creation_experiment
+from repro.sim.cluster import build_testbed
+from repro.workloads.requests import experiment_request
+
+
+class TestDeterminism:
+    def test_creation_experiment_bit_identical(self):
+        def fingerprint():
+            run = run_creation_experiment(32, 16, seed=99)
+            return (
+                tuple(run.creation_latencies),
+                tuple(r.total_time for r in run.clone_records()),
+                tuple(s.plant for s in run.successes),
+            )
+
+        assert fingerprint() == fingerprint()
+
+    def test_different_seeds_differ(self):
+        a = run_creation_experiment(32, 8, seed=1).creation_latencies
+        b = run_creation_experiment(32, 8, seed=2).creation_latencies
+        assert a != b
+
+    def test_costfn_decisions_identical(self):
+        a = run_costfn(seed=99).decisions
+        b = run_costfn(seed=99).decisions
+        assert a == b
+
+    def test_single_create_classads_identical(self):
+        def fingerprint():
+            bed = build_testbed(seed=99)
+            ad = bed.run(bed.shop.create(experiment_request(64)))
+            return ad.to_string()
+
+        assert fingerprint() == fingerprint()
+
+    def test_failure_pattern_deterministic(self):
+        def failures():
+            run = run_creation_experiment(
+                32, 20, seed=99, failure_prob=0.3
+            )
+            return tuple(s.ok for s in run.samples)
+
+        assert failures() == failures()

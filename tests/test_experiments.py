@@ -1,0 +1,191 @@
+"""Smoke/shape tests for the experiment drivers (reduced scales).
+
+The benchmarks run the full paper-scale experiments; here we verify
+the drivers' mechanics and the key qualitative shapes at small n so
+the test suite stays fast.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_clone_mode_ablation,
+    run_cost_model_ablation,
+    run_matching_ablation,
+    run_speculative_ablation,
+)
+from repro.experiments.costfn import run_costfn
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.runner import (
+    run_creation_experiment,
+    run_creation_suite,
+)
+from repro.experiments.textnumbers import run_textnumbers
+from repro.experiments.uml import run_uml
+
+SMALL_RUNS = {32: (12, 0.0), 64: (12, 0.0), 256: (8, 0.0)}
+
+
+@pytest.fixture(scope="module")
+def small_suite():
+    return run_creation_suite(seed=77, runs=SMALL_RUNS)
+
+
+class TestRunner:
+    def test_sample_bookkeeping(self, small_suite):
+        run = small_suite[32]
+        assert len(run.samples) == 12
+        assert len(run.successes) == 12
+        assert len(run.clone_times) == 12
+        assert all(s.latency > 0 for s in run.successes)
+
+    def test_failures_recorded_not_raised(self):
+        run = run_creation_experiment(
+            32, 10, seed=77, failure_prob=0.9
+        )
+        failed = [s for s in run.samples if not s.ok]
+        assert failed, "0.9 failure probability must produce failures"
+        assert all(math.isnan(s.latency) for s in failed)
+        assert all("failed" in s.error for s in failed)
+
+    def test_clone_records_exclude_failures(self):
+        run = run_creation_experiment(
+            32, 10, seed=77, failure_prob=0.5
+        )
+        assert len(run.clone_records()) == len(run.successes)
+
+    def test_latency_ordering_across_sizes(self, small_suite):
+        import numpy as np
+
+        means = {
+            mem: np.mean(run.creation_latencies)
+            for mem, run in small_suite.items()
+        }
+        assert means[32] < means[64] < means[256]
+
+
+class TestFigures:
+    def test_figure4_histograms(self, small_suite):
+        result = run_figure4(suite=small_suite)
+        assert set(result.histograms) == {"32 MB", "64 MB", "256 MB"}
+        for hist in result.histograms.values():
+            assert sum(hist.frequencies) == pytest.approx(1.0)
+        text = result.render()
+        assert "Figure 4" in text and "256 MB" in text
+
+    def test_figure4_mode_shifts_right_with_memory(self, small_suite):
+        result = run_figure4(suite=small_suite)
+        assert (
+            result.histograms["32 MB"].mode_center
+            < result.histograms["256 MB"].mode_center
+        )
+
+    def test_figure5_cloning_distributions(self, small_suite):
+        result = run_figure5(suite=small_suite)
+        assert (
+            result.summaries["32 MB"].mean
+            < result.summaries["256 MB"].mean
+        )
+        assert "cloning" in result.render()
+
+    def test_figure6_series_and_trend(self, small_suite):
+        result = run_figure6(suite=small_suite)
+        series = result.series["32 MB"]
+        assert series[0][0] == 1
+        assert len(series) == 12
+        assert "sequence" in result.render()
+        # head_tail_ratio well-defined
+        assert result.head_tail_ratio("32 MB") > 0
+
+    def test_figure6_pressure_growth_at_scale(self):
+        # 40 requests over 2 plants of 64 MB VMs → 20 per host →
+        # strong memory pressure by the tail.
+        run = run_creation_experiment(64, 40, seed=3, n_plants=2)
+        from repro.experiments.figure6 import Figure6Result
+        from repro.analysis.stats import sequence_series
+
+        result = Figure6Result(
+            series={"64 MB": sequence_series(run.clone_times)},
+            runs={64: run},
+        )
+        assert result.head_tail_ratio("64 MB", k=5) > 1.3
+        assert result.trend_slope("64 MB") > 0
+
+
+class TestUML:
+    def test_uml_mean_near_paper(self):
+        result = run_uml(seed=77, count=10)
+        assert 60 < result.clone_summary.mean < 95  # paper: 76 s
+        assert "76" in result.render()
+
+    def test_uml_creation_exceeds_cloning(self):
+        result = run_uml(seed=77, count=6)
+        assert result.creation_summary.mean > result.clone_summary.mean
+
+
+class TestCostFn:
+    def test_crossover_at_fourteenth_request(self):
+        result = run_costfn(seed=5, requests=16)
+        assert result.crossover == 14
+        first = result.first_plant
+        assert all(
+            plant == first for _, plant, _, _ in result.decisions[:13]
+        )
+
+    def test_bids_follow_formula(self):
+        result = run_costfn(seed=5, requests=16)
+        first = result.first_plant
+        for seq, _, _, bids in result.decisions[1:13]:
+            assert bids[first] == pytest.approx(4.0 * (seq - 1))
+
+    def test_render_mentions_crossover(self):
+        assert "crossover" in run_costfn(seed=5).render()
+
+    def test_random_first_pick_varies_with_seed(self):
+        picks = {run_costfn(seed=s, requests=1).first_plant
+                 for s in range(8)}
+        assert len(picks) == 2  # both plants seen across seeds
+
+
+class TestTextNumbers:
+    def test_claims_measured(self, small_suite):
+        result = run_textnumbers(seed=77, suite=small_suite)
+        assert result.creation_min < result.creation_max
+        assert 2.0 < result.copy_over_clone_ratio < 7.0
+        assert result.full_copy_clone_time > 150
+        text = result.render()
+        assert "210" in text and "paper" in text
+
+
+class TestAblations:
+    def test_clone_mode(self):
+        result = run_clone_mode_ablation(seed=77, count=3)
+        assert result.speedup > 3.0
+        assert "link" in result.render()
+
+    def test_matching(self):
+        result = run_matching_ablation(seed=77, count=3)
+        assert result.residual_with == 6
+        assert result.residual_without == 9
+        assert (
+            result.with_matching.mean < result.without_matching.mean
+        )
+
+    def test_speculative(self):
+        result = run_speculative_ablation(seed=77, count=3)
+        assert result.speculative.mean < result.on_demand.mean
+        assert result.pool_hits == 3
+        assert result.latency_hidden > 0.3
+
+    def test_cost_model(self):
+        result = run_cost_model_ablation(
+            seed=77, domains=3, vms_per_domain=3
+        )
+        assert (
+            result.fresh_networks["network+compute"]
+            <= result.fresh_networks["memory-headroom"]
+        )
+        assert result.fresh_networks["network+compute"] == 3

@@ -1,0 +1,75 @@
+"""Tests for the CSV/JSON export helpers."""
+
+import csv
+import io
+import json
+
+from repro.analysis.export import (
+    clone_records_to_rows,
+    histograms_to_rows,
+    rows_to_csv,
+    series_to_rows,
+    summaries_to_json,
+)
+from repro.analysis.histograms import histogram
+from repro.analysis.stats import summarize
+from repro.sim.hypervisor import CloneRecord
+
+
+class TestExport:
+    def test_rows_to_csv_roundtrip(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        text = rows_to_csv(rows, ["a", "b"])
+        back = list(csv.DictReader(io.StringIO(text)))
+        assert back == [{"a": "1", "b": "x"}, {"a": "2", "b": "y"}]
+
+    def test_missing_fields_blank(self):
+        text = rows_to_csv([{"a": 1}], ["a", "b"])
+        back = list(csv.DictReader(io.StringIO(text)))
+        assert back[0]["b"] == ""
+
+    def test_histograms_to_rows(self):
+        series = {"32 MB": histogram([10, 20, 20], [5, 15, 25])}
+        rows = histograms_to_rows(series)
+        assert len(rows) == 3
+        assert rows[1]["count"] == 1  # the 10 in the 15-bin? no: 10→15bin
+        total = sum(r["count"] for r in rows)
+        assert total == 3
+        assert all(r["series"] == "32 MB" for r in rows)
+
+    def test_series_to_rows(self):
+        rows = series_to_rows({"s": [(1, 2.0), (2, 4.0)]})
+        assert rows == [
+            {"series": "s", "sequence": 1, "value": 2.0},
+            {"series": "s", "sequence": 2, "value": 4.0},
+        ]
+
+    def test_clone_records_to_rows(self):
+        record = CloneRecord(
+            vmid="vm1", vm_type="vmware", memory_mb=32,
+            clone_mode="link", started_at=0.0, copy_time=1.0,
+            resume_time=2.0, total_time=3.5, pressure=1.0,
+            host_vms_before=0,
+        )
+        rows = clone_records_to_rows([record])
+        assert rows[0]["vmid"] == "vm1"
+        assert rows[0]["total_time"] == 3.5
+
+    def test_summaries_to_json(self):
+        text = summaries_to_json({"x": summarize([1.0, 3.0])})
+        data = json.loads(text)
+        assert data["x"]["mean"] == 2.0
+        assert data["x"]["count"] == 2
+
+    def test_full_pipeline_from_experiment(self):
+        from repro.experiments.runner import run_creation_experiment
+
+        run = run_creation_experiment(32, 3, seed=51, n_plants=1)
+        rows = clone_records_to_rows(run.clone_records())
+        text = rows_to_csv(
+            rows,
+            ["vmid", "memory_mb", "total_time", "pressure"],
+        )
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == 3
+        assert all(float(r["total_time"]) > 0 for r in parsed)

@@ -1,0 +1,428 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.kernel import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+    Timeout,
+)
+
+
+class TestEvent:
+    def test_event_starts_pending(self):
+        env = Environment()
+        ev = env.event()
+        assert not ev.triggered
+        assert not ev.processed
+
+    def test_succeed_carries_value(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed(42)
+        assert ev.triggered and ev.ok
+        assert ev.value == 42
+
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        ev = env.event().succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")
+
+    def test_value_before_trigger_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            _ = env.event().value
+
+    def test_trigger_copies_state(self):
+        env = Environment()
+        src = env.event().succeed("payload")
+        dst = env.event()
+        dst.trigger(src)
+        assert dst.ok and dst.value == "payload"
+
+
+class TestTimeout:
+    def test_timeout_fires_at_delay(self):
+        env = Environment()
+        results = []
+
+        def proc(env):
+            yield env.timeout(3.5)
+            results.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert results == [3.5]
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.timeout(-1)
+
+    def test_timeout_value_passthrough(self):
+        env = Environment()
+
+        def proc(env):
+            got = yield env.timeout(1, "hello")
+            return got
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "hello"
+
+    def test_zero_delay_fires_immediately(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(0)
+            return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == 0.0
+
+
+class TestProcess:
+    def test_return_value(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1)
+            return "done"
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "done"
+        assert not p.is_alive
+
+    def test_sequential_timeouts_accumulate(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(2)
+            yield env.timeout(3)
+            return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == 5.0
+
+    def test_process_waits_on_process(self):
+        env = Environment()
+
+        def inner(env):
+            yield env.timeout(4)
+            return 7
+
+        def outer(env):
+            value = yield env.process(inner(env))
+            return value * 2
+
+        p = env.process(outer(env))
+        env.run()
+        assert p.value == 14
+
+    def test_waiting_on_terminated_process_returns_value(self):
+        env = Environment()
+
+        def inner(env):
+            yield env.timeout(1)
+            return "early"
+
+        def outer(env, target):
+            yield env.timeout(5)
+            value = yield target
+            return (env.now, value)
+
+        inner_proc = env.process(inner(env))
+        p = env.process(outer(env, inner_proc))
+        env.run()
+        assert p.value == (5.0, "early")
+
+    def test_exception_propagates_to_waiter(self):
+        env = Environment()
+
+        def failing(env):
+            yield env.timeout(1)
+            raise ValueError("boom")
+
+        def waiter(env, target):
+            try:
+                yield target
+            except ValueError as exc:
+                return f"caught {exc}"
+
+        target = env.process(failing(env))
+        p = env.process(waiter(env, target))
+        env.run()
+        assert p.value == "caught boom"
+
+    def test_unhandled_failure_crashes_run(self):
+        env = Environment()
+
+        def failing(env):
+            yield env.timeout(1)
+            raise ValueError("unhandled")
+
+        env.process(failing(env))
+        with pytest.raises(ValueError, match="unhandled"):
+            env.run()
+
+    def test_yielding_non_event_kills_process(self):
+        env = Environment()
+
+        def bad(env):
+            yield 42
+
+        p = env.process(bad(env))
+        with pytest.raises(SimulationError):
+            env.run()
+        assert not p.is_alive
+
+    def test_non_generator_rejected(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self):
+        env = Environment()
+
+        def sleeper(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt as interrupt:
+                return (env.now, interrupt.cause)
+
+        def killer(env, victim):
+            yield env.timeout(2)
+            victim.interrupt("reason")
+
+        victim = env.process(sleeper(env))
+        env.process(killer(env, victim))
+        env.run()
+        assert victim.value == (2.0, "reason")
+
+    def test_interrupted_process_can_continue(self):
+        env = Environment()
+
+        def sleeper(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt:
+                pass
+            yield env.timeout(1)
+            return env.now
+
+        def killer(env, victim):
+            yield env.timeout(2)
+            victim.interrupt()
+
+        victim = env.process(sleeper(env))
+        env.process(killer(env, victim))
+        env.run()
+        assert victim.value == 3.0
+
+    def test_interrupt_terminated_process_rejected(self):
+        env = Environment()
+
+        def quick(env):
+            yield env.timeout(1)
+
+        def late(env, victim):
+            yield env.timeout(5)
+            with pytest.raises(SimulationError):
+                victim.interrupt()
+
+        victim = env.process(quick(env))
+        p = env.process(late(env, victim))
+        env.run()
+        assert p.ok
+
+    def test_stale_wakeup_dropped_after_interrupt(self):
+        # Interrupt a process in the same time step as its event fires:
+        # it must see exactly one resumption (the Interrupt).
+        env = Environment()
+        wakeups = []
+
+        def sleeper(env, ev):
+            try:
+                yield ev
+                wakeups.append("value")
+            except Interrupt:
+                wakeups.append("interrupt")
+            yield env.timeout(10)
+            return wakeups
+
+        def killer(env, victim, ev):
+            yield env.timeout(1)
+            ev.succeed("x")
+            victim.interrupt()
+
+        ev = env.event()
+        victim = env.process(sleeper(env, ev))
+        env.process(killer(env, victim, ev))
+        env.run()
+        assert victim.value in (["interrupt"], ["value"])
+        assert len(victim.value) == 1
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.all_of([env.timeout(2, "a"), env.timeout(5, "b")])
+            return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == 5.0
+
+    def test_any_of_fires_on_first(self):
+        env = Environment()
+
+        def proc(env):
+            result = yield env.any_of(
+                [env.timeout(2, "fast"), env.timeout(5, "slow")]
+            )
+            return (env.now, sorted(result.values()))
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == (2.0, ["fast"])
+
+    def test_operator_composition(self):
+        env = Environment()
+
+        def proc(env):
+            t1, t2 = env.timeout(1), env.timeout(2)
+            yield t1 & t2
+            return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == 2.0
+
+    def test_empty_all_of_fires_immediately(self):
+        env = Environment()
+
+        def proc(env):
+            result = yield env.all_of([])
+            return result
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == {}
+
+    def test_all_of_failure_propagates(self):
+        env = Environment()
+
+        def failing(env):
+            yield env.timeout(1)
+            raise RuntimeError("component died")
+
+        def proc(env):
+            try:
+                yield env.all_of(
+                    [env.timeout(5), env.process(failing(env))]
+                )
+            except RuntimeError as exc:
+                return str(exc)
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "component died"
+
+    def test_condition_rejects_foreign_events(self):
+        env1, env2 = Environment(), Environment()
+        with pytest.raises(SimulationError):
+            AllOf(env1, [env2.timeout(1)])
+
+
+class TestRun:
+    def test_run_until_time_stops_clock(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(10)
+
+        env.process(proc(env))
+        env.run(until=4)
+        assert env.now == 4.0
+
+    def test_run_until_past_time_rejected(self):
+        env = Environment(initial_time=10)
+        with pytest.raises(ValueError):
+            env.run(until=5)
+
+    def test_run_until_event_returns_value(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(2)
+            return 99
+
+        assert env.run(until=env.process(proc(env))) == 99
+
+    def test_run_until_failed_event_raises(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1)
+            raise KeyError("nope")
+
+        with pytest.raises(KeyError):
+            env.run(until=env.process(proc(env)))
+
+    def test_run_until_unreachable_event_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.run(until=env.event())
+
+    def test_peek_reports_next_event_time(self):
+        env = Environment()
+        env.timeout(7)
+        assert env.peek() == 7.0
+        env2 = Environment()
+        assert env2.peek() == float("inf")
+
+    def test_determinism_same_seedless_structure(self):
+        def build():
+            env = Environment()
+            log = []
+
+            def worker(env, name, delay):
+                yield env.timeout(delay)
+                log.append((env.now, name))
+
+            for i in range(10):
+                env.process(worker(env, f"w{i}", (i * 3) % 7))
+            env.run()
+            return log
+
+        assert build() == build()
+
+    def test_ties_processed_in_schedule_order(self):
+        env = Environment()
+        log = []
+
+        def worker(env, name):
+            yield env.timeout(5)
+            log.append(name)
+
+        for name in ("a", "b", "c"):
+            env.process(worker(env, name))
+        env.run()
+        assert log == ["a", "b", "c"]

@@ -1,0 +1,253 @@
+"""Tests for the real-filesystem production line and image store."""
+
+import os
+
+import pytest
+
+from repro.core.actions import Action, ActionScope, ErrorPolicy
+from repro.core.dag import ConfigDAG
+from repro.core.errors import ConfigurationError, PlantError, WarehouseError
+from repro.core.spec import (
+    CreateRequest,
+    HardwareSpec,
+    NetworkSpec,
+    SoftwareSpec,
+)
+from repro.local.image import LocalImageStore, materialize_image
+from repro.local.localline import LocalProductionLine
+from repro.plant.production import CloneMode
+from repro.plant.vmplant import VMPlant
+from repro.plant.warehouse import GoldenImage
+from repro.sim.kernel import Environment
+from repro.workloads.requests import install_os_action
+
+from tests.helpers import drive
+
+OS = "shellos"
+
+
+def make_image(image_id="golden", mem=32, disk_files=4):
+    return GoldenImage(
+        image_id=image_id, vm_type="vmware", os=OS,
+        hardware=HardwareSpec(memory_mb=mem),
+        performed=(install_os_action(OS),),
+        disk_state_mb=16.0, disk_files=disk_files,
+        memory_state_mb=float(mem),
+    )
+
+
+@pytest.fixture
+def rig(tmp_path):
+    store = LocalImageStore(tmp_path / "warehouse")
+    store.add(make_image())
+    env = Environment()
+    line = LocalProductionLine(env, store, tmp_path / "run")
+    plant = VMPlant(env, "lp", store.to_warehouse(), {"vmware": line})
+    return env, store, line, plant, tmp_path
+
+
+def make_request(extra=()):
+    dag = ConfigDAG.from_sequence([install_os_action(OS), *extra])
+    return CreateRequest(
+        hardware=HardwareSpec(memory_mb=32),
+        software=SoftwareSpec(os=OS, dag=dag),
+        network=NetworkSpec(domain="d"),
+        client_id="alice",
+        vm_type="vmware",
+    )
+
+
+class TestImageStore:
+    def test_materialize_layout(self, tmp_path):
+        root = materialize_image(make_image(), tmp_path)
+        assert (root / "descriptor.xml").exists()
+        assert (root / "machine.cfg").exists()
+        assert (root / "memory.vmss").exists()
+        assert (root / "redo-base.log").exists()
+        assert len(list((root / "disk").iterdir())) == 4
+
+    def test_memoryless_image_has_no_vmss(self, tmp_path):
+        image = GoldenImage(
+            image_id="uml", vm_type="uml", os=OS,
+            hardware=HardwareSpec(memory_mb=32), memory_state_mb=0.0,
+        )
+        root = materialize_image(image, tmp_path)
+        assert not (root / "memory.vmss").exists()
+
+    def test_double_materialize_rejected(self, tmp_path):
+        materialize_image(make_image(), tmp_path)
+        with pytest.raises(WarehouseError):
+            materialize_image(make_image(), tmp_path)
+
+    def test_descriptor_roundtrip_from_disk(self, tmp_path):
+        store = LocalImageStore(tmp_path)
+        image = make_image()
+        store.add(image)
+        assert store.load_descriptor("golden") == image
+
+    def test_to_warehouse(self, tmp_path):
+        store = LocalImageStore(tmp_path)
+        store.add(make_image("a"))
+        store.add(make_image("b"))
+        warehouse = store.to_warehouse()
+        assert len(warehouse) == 2
+
+    def test_missing_image_path_raises(self, tmp_path):
+        store = LocalImageStore(tmp_path)
+        with pytest.raises(WarehouseError):
+            store.path_of("ghost")
+
+    def test_scale_controls_file_sizes(self, tmp_path):
+        small = LocalImageStore(tmp_path / "s", scale=16)
+        root = small.add(make_image())
+        vmss = (root / "memory.vmss").stat().st_size
+        assert vmss == 32 * 16
+
+
+class TestLocalClone:
+    def test_link_mode_symlinks_disk(self, rig):
+        env, store, line, plant, tmp = rig
+        drive(env, plant.create(make_request(), "vm1"))
+        disk = tmp / "run" / "vm1" / "disk"
+        chunks = sorted(disk.iterdir())
+        assert len(chunks) == 4
+        assert all(c.is_symlink() for c in chunks)
+        # Memory state is a real copy, never a link.
+        assert not (tmp / "run" / "vm1" / "memory.vmss").is_symlink()
+
+    def test_copy_mode_copies_disk(self, rig):
+        env, store, line, plant, tmp = rig
+        drive(
+            env,
+            plant.create(make_request(), "vm1", clone_mode=CloneMode.COPY),
+        )
+        chunks = list((tmp / "run" / "vm1" / "disk").iterdir())
+        assert all(not c.is_symlink() for c in chunks)
+        golden = store.disk_chunks("golden")[0].stat().st_size
+        assert chunks[0].stat().st_size == golden
+
+    def test_duplicate_clone_dir_rejected(self, rig):
+        env, store, line, plant, tmp = rig
+        drive(env, plant.create(make_request(), "vm1"))
+        # Cloning into an already-populated directory must fail loudly.
+        vm = plant.infosys.get("vm1")
+        with pytest.raises(PlantError, match="already exists"):
+            drive(env, line.clone(vm))
+
+
+class TestLocalExecution:
+    def test_script_runs_and_outputs_parsed(self, rig):
+        env, store, line, plant, tmp = rig
+        action = Action(
+            "emit",
+            command="echo VMPLANT_OUTPUT token=abc123",
+            outputs=("token",),
+        )
+        ad = drive(env, plant.create(make_request((action,)), "vm1"))
+        assert ad["token"] == "abc123"
+
+    def test_context_visible_as_env(self, rig):
+        env, store, line, plant, tmp = rig
+        action = Action(
+            "whoami",
+            command='echo VMPLANT_OUTPUT who=$VMPLANT_CLIENT',
+            outputs=("who",),
+        )
+        ad = drive(env, plant.create(make_request((action,)), "vm1"))
+        assert ad["who"] == "alice"
+
+    def test_guest_cwd_is_guest_dir(self, rig):
+        env, store, line, plant, tmp = rig
+        action = Action("mark", command="touch marker.txt")
+        drive(env, plant.create(make_request((action,)), "vm1"))
+        assert (tmp / "run" / "vm1" / "guest" / "marker.txt").exists()
+
+    def test_failing_script_fails_action(self, rig):
+        env, store, line, plant, tmp = rig
+        action = Action("explode", command="exit 3")
+        with pytest.raises(ConfigurationError):
+            drive(env, plant.create(make_request((action,)), "vm1"))
+
+    def test_failing_script_with_ignore_policy(self, rig):
+        env, store, line, plant, tmp = rig
+        action = Action(
+            "explode", command="exit 3", on_error=ErrorPolicy.IGNORE
+        )
+        ad = drive(env, plant.create(make_request((action,)), "vm1"))
+        assert ad["status"] == "running"
+
+    def test_retry_policy_reruns_script(self, rig):
+        env, store, line, plant, tmp = rig
+        # Succeeds only once the marker exists (second attempt).
+        action = Action(
+            "flaky",
+            command=(
+                "test -f tried.marker || { touch tried.marker; exit 1; }"
+            ),
+            on_error=ErrorPolicy.RETRY,
+            retries=2,
+        )
+        ad = drive(env, plant.create(make_request((action,)), "vm1"))
+        assert ad["status"] == "running"
+
+    def test_host_action_journalled(self, rig):
+        env, store, line, plant, tmp = rig
+        action = Action(
+            "attach-iso", scope=ActionScope.HOST, command="connect iso"
+        )
+        drive(env, plant.create(make_request((action,)), "vm1"))
+        log = (tmp / "run" / "vm1" / "host-ops.log").read_text()
+        assert "attach-iso" in log
+
+
+class TestLocalCollect:
+    def test_collect_removes_clone_dir(self, rig):
+        env, store, line, plant, tmp = rig
+        drive(env, plant.create(make_request(), "vm1"))
+        clone_dir = tmp / "run" / "vm1"
+        assert clone_dir.exists()
+        drive(env, plant.destroy("vm1"))
+        assert not clone_dir.exists()
+
+    def test_collect_never_touches_warehouse(self, rig):
+        env, store, line, plant, tmp = rig
+        drive(env, plant.create(make_request(), "vm1"))
+        drive(env, plant.destroy("vm1"))
+        assert (tmp / "warehouse" / "golden" / "machine.cfg").exists()
+        assert len(store.disk_chunks("golden")) == 4
+
+    def test_golden_disk_unmodified_by_clone_lifecycle(self, rig):
+        env, store, line, plant, tmp = rig
+        before = [
+            (c.name, c.stat().st_size) for c in store.disk_chunks("golden")
+        ]
+        action = Action("write", command="echo data > newfile")
+        drive(env, plant.create(make_request((action,)), "vm1"))
+        drive(env, plant.destroy("vm1"))
+        after = [
+            (c.name, c.stat().st_size) for c in store.disk_chunks("golden")
+        ]
+        assert before == after
+
+
+class TestLocalTimeout:
+    def test_hanging_script_times_out_as_failure(self, tmp_path):
+        from repro.sim.kernel import Environment
+
+        env = Environment()
+        store = LocalImageStore(tmp_path / "wh")
+        store.add(make_image())
+        line = LocalProductionLine(
+            env, store, tmp_path / "run", script_timeout_s=0.5
+        )
+        plant = VMPlant(env, "lp", store.to_warehouse(), {"vmware": line})
+        hang = Action(
+            "hang", command="sleep 30", on_error=ErrorPolicy.IGNORE
+        )
+        ad = drive(env, plant.create(make_request((hang,)), "vm1"))
+        # Timed out, recorded as a failed (ignored) action.
+        vm = plant.infosys.get("vm1")
+        failed = next(r for r in vm.results if r.action == "hang")
+        assert not failed.ok
+        assert "timed out" in failed.message
+        assert ad["status"] == "running"

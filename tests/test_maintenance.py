@@ -1,0 +1,132 @@
+"""Maintenance workflows: cordon + drain, nested brokers, scale."""
+
+import pytest
+
+from repro.core.errors import ShopError
+from repro.plant.migration import MigrationManager
+from repro.shop.broker import VMBroker
+from repro.shop.vmshop import VMShop
+from repro.sim.cluster import build_testbed
+from repro.sim.rng import RngHub
+from repro.workloads.requests import experiment_request, request_stream
+
+
+class TestCordon:
+    def test_cordoned_plant_declines_bids(self):
+        bed = build_testbed(seed=91, n_plants=2)
+        bed.plants[0].cordon()
+        for _ in range(3):
+            ad = bed.run(bed.shop.create(experiment_request(32)))
+            assert ad["plant"] == "plant1"
+
+    def test_all_cordoned_no_bids(self):
+        bed = build_testbed(seed=91, n_plants=2)
+        for plant in bed.plants:
+            plant.cordon()
+        with pytest.raises(ShopError, match="no plant bid"):
+            bed.run(bed.shop.create(experiment_request(32)))
+
+    def test_uncordon_resumes_bidding(self):
+        bed = build_testbed(seed=91, n_plants=1)
+        bed.plants[0].cordon()
+        bed.plants[0].uncordon()
+        ad = bed.run(bed.shop.create(experiment_request(32)))
+        assert ad["plant"] == "plant0"
+
+    def test_existing_vms_unaffected_by_cordon(self):
+        bed = build_testbed(seed=91, n_plants=1)
+        ad = bed.run(bed.shop.create(experiment_request(32)))
+        vmid = str(ad["vmid"])
+        bed.plants[0].cordon()
+        queried = bed.run(bed.shop.query(vmid))
+        assert queried["status"] == "running"
+        bed.run(bed.shop.destroy(vmid))
+
+    def test_full_maintenance_workflow(self):
+        """Cordon → drain → host empty; service keeps flowing."""
+        bed = build_testbed(seed=91, n_plants=3)
+        manager = MigrationManager(bed.env, link=bed.internode)
+        vmids = []
+        for _ in range(6):
+            ad = bed.run(bed.shop.create(experiment_request(32)))
+            vmids.append(str(ad["vmid"]))
+        victim = bed.plants[0]
+        victim.cordon()
+        others = [p for p in bed.plants if p is not victim]
+        bed.run(manager.drain(victim, others, shop=bed.shop))
+        assert victim.active_vm_count() == 0
+        # New requests avoid the cordoned plant ...
+        ad = bed.run(bed.shop.create(experiment_request(32)))
+        assert ad["plant"] != victim.name
+        # ... and every pre-maintenance VM is still reachable.
+        for vmid in vmids:
+            queried = bed.run(bed.shop.query(vmid))
+            assert queried["status"] == "running"
+            assert queried["plant"] != victim.name
+
+
+class TestNestedBrokers:
+    def test_broker_tree_routes_to_leaf_plants(self):
+        bed = build_testbed(seed=91, n_plants=4)
+        left = VMBroker("rack-left", bed.plants[:2])
+        right = VMBroker("rack-right", bed.plants[2:])
+        root = VMBroker("site", [left, right])
+        shop = VMShop(bed.env, "shop2", rng=RngHub(7))
+        shop.register_plant(root)
+        seen = set()
+        for _ in range(4):
+            ad = bed.run(shop.create(experiment_request(32)))
+            seen.add(str(ad["plant"]))
+        # The tree reaches leaves in both racks.
+        assert len(seen) >= 2
+        assert all(name.startswith("plant") for name in seen)
+
+    def test_nested_destroy_routes_through_tree(self):
+        bed = build_testbed(seed=91, n_plants=4)
+        root = VMBroker(
+            "site",
+            [
+                VMBroker("rack-left", bed.plants[:2]),
+                VMBroker("rack-right", bed.plants[2:]),
+            ],
+        )
+        shop = VMShop(bed.env, "shop2", rng=RngHub(7))
+        shop.register_plant(root)
+        ad = bed.run(shop.create(experiment_request(32)))
+        final = bed.run(shop.destroy(str(ad["vmid"])))
+        assert final["status"] == "collected"
+
+
+class TestScale:
+    def test_large_site_handles_burst(self):
+        """64 plants, 128 requests, 16-way concurrency — all complete."""
+        from repro.sim.resources import Resource
+
+        bed = build_testbed(seed=91, n_plants=64, nfs_replicas=4)
+        gate = Resource(bed.env, capacity=16)
+        done = []
+
+        def one(request):
+            with gate.request() as slot:
+                yield slot
+                ad = yield from bed.shop.create(request)
+                done.append(str(ad["plant"]))
+
+        def client():
+            procs = [
+                bed.env.process(one(r))
+                for r in request_stream(32, 128)
+            ]
+            yield bed.env.all_of(procs)
+
+        bed.run(client())
+        assert len(done) == 128
+        counts = [p.active_vm_count() for p in bed.plants]
+        assert sum(counts) == 128
+        # Concurrent bidding races on stale state (all 16 in-flight
+        # creates see the same plant loads), so placement is only
+        # approximately balanced — but never pathological.
+        assert max(counts) <= 16
+        assert sum(1 for c in counts if c > 0) >= 32
+        for plant in bed.plants:
+            plant.network_pool.check_isolation()

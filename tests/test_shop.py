@@ -1,0 +1,406 @@
+"""Unit tests for VMShop, bidding, brokers, registry and transport."""
+
+import pytest
+
+from repro.core.actions import Action
+from repro.core.classad import ClassAd
+from repro.core.dag import ConfigDAG
+from repro.core.errors import ProtocolError, ShopError
+from repro.core.spec import (
+    CreateRequest,
+    DestroyRequest,
+    HardwareSpec,
+    NetworkSpec,
+    QueryRequest,
+    SoftwareSpec,
+)
+from repro.plant.vmplant import VMPlant
+from repro.plant.warehouse import GoldenImage, VMWarehouse
+from repro.shop.bidding import Bid, BidCollector
+from repro.shop.broker import VMBroker
+from repro.shop.protocol import (
+    Transport,
+    service_request_from_xml,
+    service_request_to_xml,
+)
+from repro.shop.registry import ServiceRegistry
+from repro.shop.vmshop import VMShop
+from repro.sim.kernel import Environment
+from repro.sim.rng import RngHub
+
+from tests.helpers import InstantLine, drive
+
+OS = "testos"
+
+
+def base_action():
+    return Action("install-os", scope="host", command="install")
+
+
+def make_image(mem=32):
+    return GoldenImage(
+        image_id=f"img{mem}", vm_type="vmware", os=OS,
+        hardware=HardwareSpec(memory_mb=mem),
+        performed=(base_action(),), memory_state_mb=float(mem),
+    )
+
+
+def make_request(mem=32, domain="d"):
+    return CreateRequest(
+        hardware=HardwareSpec(memory_mb=mem),
+        software=SoftwareSpec(
+            os=OS, dag=ConfigDAG.from_sequence([base_action()])
+        ),
+        network=NetworkSpec(domain=domain),
+        client_id="tester",
+        vm_type="vmware",
+    )
+
+
+def make_site(env, n_plants=2, fail_clones_on=None, registry=None):
+    warehouse = VMWarehouse([make_image()])
+    shop = VMShop(env, rng=RngHub(5), registry=registry)
+    plants = []
+    for i in range(n_plants):
+        line = InstantLine(
+            env,
+            clone_time=5 + i,  # plant0 is fastest
+            fail_clones=(1 if fail_clones_on == i else 0),
+        )
+        plant = VMPlant(env, f"p{i}", warehouse, {"vmware": line})
+        plants.append(plant)
+        shop.register_plant(plant)
+    return shop, plants
+
+
+class TestTransport:
+    def test_call_charges_latency(self):
+        env = Environment()
+        transport = Transport(env, latency_s=0.5, jitter_sigma=0.0)
+
+        def proc(env):
+            result = yield from transport.call(lambda: 42)
+            return (result, env.now)
+
+        value, elapsed = drive(env, proc(env))
+        assert value == 42
+        assert elapsed == pytest.approx(1.0)
+
+    def test_call_drives_generator_handlers(self):
+        env = Environment()
+        transport = Transport(env, latency_s=0.0)
+
+        def handler():
+            yield env.timeout(3)
+            return "done"
+
+        def proc(env):
+            result = yield from transport.call(handler)
+            return (result, env.now)
+
+        assert drive(env, proc(env)) == ("done", 3.0)
+
+    def test_zero_latency_allowed(self):
+        env = Environment()
+        transport = Transport(env, latency_s=0.0)
+
+        def proc(env):
+            result = yield from transport.call(lambda: "x")
+            return env.now
+
+        assert drive(env, proc(env)) == 0.0
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            Transport(Environment(), latency_s=-1)
+
+
+class TestServiceXML:
+    def test_query_roundtrip(self):
+        request = QueryRequest(vmid="vm-7", attributes=("status", "ip"))
+        service, back = service_request_from_xml(
+            service_request_to_xml(request)
+        )
+        assert service == "query" and back == request
+
+    def test_destroy_roundtrip(self):
+        request = DestroyRequest(
+            vmid="vm-7", commit=True, publish_as="newimg"
+        )
+        service, back = service_request_from_xml(
+            service_request_to_xml(request)
+        )
+        assert service == "destroy" and back == request
+
+    def test_create_roundtrip(self):
+        request = make_request()
+        service, back = service_request_from_xml(
+            service_request_to_xml(request)
+        )
+        assert service == "create"
+        assert back.hardware == request.hardware
+
+    def test_estimate_wraps_create_body(self):
+        text = service_request_to_xml(make_request(), service="estimate")
+        service, back = service_request_from_xml(text)
+        assert service == "estimate"
+        assert back.hardware.memory_mb == 32
+
+    def test_unknown_service_rejected(self):
+        with pytest.raises(ProtocolError):
+            service_request_from_xml(
+                '<vmplant-request service="meow" vmid="x"/>'
+            )
+
+    def test_query_missing_vmid_rejected(self):
+        with pytest.raises(ProtocolError):
+            service_request_from_xml('<vmplant-request service="query"/>')
+
+
+class TestBidding:
+    def test_collect_gathers_all_bids(self):
+        env = Environment()
+        shop, plants = make_site(env, n_plants=3)
+        collector = shop.collector
+
+        def proc(env):
+            bids = yield from collector.collect(
+                shop.bidders, make_request()
+            )
+            return bids
+
+        bids = drive(env, proc(env))
+        assert len(bids) == 3
+        assert {b.bidder_name for b in bids} == {"p0", "p1", "p2"}
+
+    def test_select_minimum(self):
+        env = Environment()
+        collector = BidCollector(env, Transport(env), RngHub(1))
+        bids = [
+            Bid("a", 10.0, None),
+            Bid("b", 3.0, None),
+            Bid("c", 7.0, None),
+        ]
+        assert collector.select(bids).bidder_name == "b"
+
+    def test_select_tie_is_deterministic_per_seed(self):
+        env = Environment()
+        bids = [Bid("a", 5.0, None), Bid("b", 5.0, None)]
+        pick1 = BidCollector(env, Transport(env), RngHub(3)).select(bids)
+        pick2 = BidCollector(env, Transport(env), RngHub(3)).select(bids)
+        assert pick1.bidder_name == pick2.bidder_name
+
+    def test_select_empty_raises(self):
+        env = Environment()
+        collector = BidCollector(env, Transport(env))
+        with pytest.raises(ShopError):
+            collector.select([])
+
+    def test_rank_orders_by_cost(self):
+        env = Environment()
+        collector = BidCollector(env, Transport(env), RngHub(1))
+        bids = [
+            Bid("a", 10.0, None),
+            Bid("b", 3.0, None),
+            Bid("c", 7.0, None),
+        ]
+        assert [b.bidder_name for b in collector.rank(bids)] == [
+            "b", "c", "a",
+        ]
+
+
+class TestVMShop:
+    def test_create_query_destroy_cycle(self):
+        env = Environment()
+        shop, plants = make_site(env)
+        ad = drive(env, shop.create(make_request()))
+        vmid = str(ad["vmid"])
+        assert vmid.startswith("vmshop-vm-")
+        queried = drive(env, shop.query(vmid))
+        assert queried["status"] == "running"
+        final = drive(env, shop.destroy(vmid))
+        assert final["status"] == "collected"
+        assert shop.active_vmids() == []
+
+    def test_balanced_distribution_with_memory_cost(self):
+        env = Environment()
+        shop, plants = make_site(env, n_plants=2)
+        for _ in range(4):
+            drive(env, shop.create(make_request()))
+        counts = [p.active_vm_count() for p in plants]
+        assert counts == [2, 2]
+
+    def test_no_bids_raises(self):
+        env = Environment()
+        shop = VMShop(env)
+        with pytest.raises(ShopError, match="no plant bid"):
+            drive(env, shop.create(make_request()))
+
+    def test_unknown_vmid_raises(self):
+        env = Environment()
+        shop, _ = make_site(env)
+        with pytest.raises(ShopError):
+            drive(env, shop.query("ghost"))
+
+    def test_plant_failure_surfaces_by_default(self):
+        env = Environment()
+        shop, plants = make_site(env, n_plants=1, fail_clones_on=0)
+        from repro.core.errors import PlantError
+
+        with pytest.raises(PlantError):
+            drive(env, shop.create(make_request()))
+        assert shop.creation_log[-1][2] is False
+
+    def test_retry_other_plants_falls_through(self):
+        env = Environment()
+        warehouse = VMWarehouse([make_image()])
+        shop = VMShop(env, rng=RngHub(5), retry_other_plants=True)
+        # p0 bids lowest (fewest VMs... equal) but always fails clones.
+        failing = VMPlant(
+            env, "p0", warehouse,
+            {"vmware": InstantLine(env, clone_time=1, fail_clones=99)},
+        )
+        working = VMPlant(
+            env, "p1", warehouse, {"vmware": InstantLine(env)}
+        )
+        shop.register_plant(failing)
+        shop.register_plant(working)
+        ad = drive(env, shop.create(make_request()))
+        assert ad["plant"] == "p1"
+
+    def test_query_cache(self):
+        env = Environment()
+        shop, plants = make_site(env)
+        ad = drive(env, shop.create(make_request()))
+        vmid = str(ad["vmid"])
+        calls_before = shop.transport.calls
+        cached = drive(env, shop.query(vmid, use_cache=True))
+        assert shop.transport.calls == calls_before  # served locally
+        assert cached["vmid"] == vmid
+
+    def test_recover_rebuilds_routing(self):
+        env = Environment()
+        shop, plants = make_site(env)
+        ad = drive(env, shop.create(make_request()))
+        vmid = str(ad["vmid"])
+        # Simulate a shop restart: drop all soft state.
+        shop._route.clear()
+        shop._cache.clear()
+        assert shop.recover() == 1
+        queried = drive(env, shop.query(vmid))
+        assert queried["vmid"] == vmid
+
+    def test_xml_path_can_be_disabled(self):
+        env = Environment()
+        warehouse = VMWarehouse([make_image()])
+        shop = VMShop(env, use_xml=False, rng=RngHub(5))
+        shop.register_plant(
+            VMPlant(env, "p0", warehouse, {"vmware": InstantLine(env)})
+        )
+        ad = drive(env, shop.create(make_request()))
+        assert ad["plant"] == "p0"
+
+    def test_estimate_exposes_bids(self):
+        env = Environment()
+        shop, _ = make_site(env, n_plants=3)
+        bids = drive(env, shop.estimate(make_request()))
+        assert len(bids) == 3
+
+
+class TestRegistry:
+    def test_publish_discover_bind(self):
+        registry = ServiceRegistry()
+        registry.publish("svc", "vmplant", binding="BINDING")
+        assert registry.bind("svc") == "BINDING"
+        assert len(registry.discover("vmplant")) == 1
+        assert registry.discover("vmshop") == []
+
+    def test_discover_with_requirements(self):
+        registry = ServiceRegistry()
+        registry.publish(
+            "big", "vmplant", binding=1,
+            description=ClassAd({"memory": 2048, "kind": "vmplant",
+                                 "name": "big"}),
+        )
+        registry.publish(
+            "small", "vmplant", binding=2,
+            description=ClassAd({"memory": 512, "kind": "vmplant",
+                                 "name": "small"}),
+        )
+        found = registry.discover(
+            "vmplant", requirements="other.memory >= 1024"
+        )
+        assert [e.name for e in found] == ["big"]
+
+    def test_unpublish(self):
+        registry = ServiceRegistry()
+        registry.publish("svc", "x", binding=None)
+        registry.unpublish("svc")
+        with pytest.raises(ShopError):
+            registry.bind("svc")
+        with pytest.raises(ShopError):
+            registry.unpublish("svc")
+
+    def test_shop_discovers_plants_from_registry(self):
+        env = Environment()
+        registry = ServiceRegistry()
+        warehouse = VMWarehouse([make_image()])
+        plant = VMPlant(
+            env, "p0", warehouse, {"vmware": InstantLine(env)}
+        )
+        registry.publish("p0", "vmplant", plant)
+        shop = VMShop(env, registry=registry)
+        assert shop.discover_plants() == 1
+        ad = drive(env, shop.create(make_request()))
+        assert ad["plant"] == "p0"
+
+
+class TestBroker:
+    def make_broker_site(self, env):
+        warehouse = VMWarehouse([make_image()])
+        plants = [
+            VMPlant(env, f"p{i}", warehouse, {"vmware": InstantLine(env)})
+            for i in range(3)
+        ]
+        broker = VMBroker("rack0", plants[:2])
+        broker.add_plant(plants[2])
+        return broker, plants
+
+    def test_estimate_is_best_of_fronted(self):
+        env = Environment()
+        broker, plants = self.make_broker_site(env)
+        drive(env, plants[0].create(make_request(), "preload-1"))
+        drive(env, plants[0].create(make_request(), "preload-2"))
+        cost = broker.estimate(make_request())
+        # Best plant is an empty one, not the preloaded p0.
+        assert cost == plants[1].estimate(make_request())
+
+    def test_create_routes_to_best_plant(self):
+        env = Environment()
+        broker, plants = self.make_broker_site(env)
+        drive(env, plants[0].create(make_request(), "preload"))
+        ad = drive(env, broker.create(make_request(), "vm-x"))
+        assert ad["plant"] in ("p1", "p2")
+
+    def test_broker_behind_shop(self):
+        env = Environment()
+        broker, plants = self.make_broker_site(env)
+        shop = VMShop(env, rng=RngHub(5))
+        shop.register_plant(broker)
+        ad = drive(env, shop.create(make_request()))
+        vmid = str(ad["vmid"])
+        queried = drive(env, shop.query(vmid))
+        assert queried["vmid"] == vmid
+        drive(env, shop.destroy(vmid))
+
+    def test_all_decline_raises(self):
+        env = Environment()
+        broker = VMBroker("empty", [])
+        with pytest.raises(ShopError):
+            drive(env, broker.create(make_request(), "vm-x"))
+
+    def test_query_unknown_vm_raises(self):
+        env = Environment()
+        broker, _ = self.make_broker_site(env)
+        with pytest.raises(ShopError):
+            broker.query("ghost")

@@ -1,0 +1,97 @@
+"""Tests for speculative clone pre-creation."""
+
+import pytest
+
+from repro.core.errors import PlantError
+from repro.plant.speculative import SpeculativeClonePool
+from repro.sim.cluster import build_testbed
+from repro.workloads.requests import experiment_request
+
+from tests.helpers import drive
+
+
+def make_rig(target=2):
+    bed = build_testbed(seed=9, n_plants=1)
+    plant = bed.plants[0]
+    prototype = experiment_request(32)
+    pool = SpeculativeClonePool(plant, prototype, target=target)
+    return bed, plant, pool
+
+
+class TestFill:
+    def test_fill_creates_target_clones(self):
+        bed, plant, pool = make_rig(target=3)
+        created = drive(bed.env, pool.fill())
+        assert created == 3
+        assert pool.size == 3
+        assert plant.active_vm_count() == 3
+
+    def test_fill_idempotent_at_target(self):
+        bed, plant, pool = make_rig(target=2)
+        drive(bed.env, pool.fill())
+        assert drive(bed.env, pool.fill()) == 0
+
+    def test_pooled_clones_executed_no_config_actions(self):
+        bed, plant, pool = make_rig(target=1)
+        drive(bed.env, pool.fill())
+        vm = plant.infosys.active()[0]
+        assert vm.classad["actions_executed"] == 0
+
+    def test_no_matching_image_rejected_at_construction(self):
+        bed = build_testbed(seed=9, n_plants=1, memory_sizes=(64,))
+        with pytest.raises(PlantError):
+            SpeculativeClonePool(
+                bed.plants[0], experiment_request(32), target=1
+            )
+
+
+class TestAcquire:
+    def test_hit_is_much_faster_than_create(self):
+        bed, plant, pool = make_rig(target=1)
+        drive(bed.env, pool.fill())
+        request = experiment_request(32)
+
+        start = bed.env.now
+        ad = drive(bed.env, pool.acquire(request))
+        hit_latency = bed.env.now - start
+        assert ad is not None and ad["speculative"] is True
+
+        start = bed.env.now
+        drive(bed.env, plant.create(request, "cold"))
+        cold_latency = bed.env.now - start
+        assert hit_latency < cold_latency / 2
+        assert pool.hits == 1
+
+    def test_acquired_vm_fully_configured(self):
+        bed, plant, pool = make_rig(target=1)
+        drive(bed.env, pool.fill())
+        ad = drive(bed.env, pool.acquire(experiment_request(32)))
+        vm = plant.infosys.get(str(ad["vmid"]))
+        names = [a.name for a in vm.performed_actions]
+        assert names == ["install-os", "configure-network", "setup-user"]
+
+    def test_empty_pool_misses(self):
+        bed, plant, pool = make_rig(target=0)
+        assert drive(bed.env, pool.acquire(experiment_request(32))) is None
+        assert pool.misses == 1
+
+    def test_incompatible_request_misses(self):
+        bed, plant, pool = make_rig(target=1)
+        drive(bed.env, pool.fill())
+        other_domain = experiment_request(32, domain="elsewhere.org")
+        assert drive(bed.env, pool.acquire(other_domain)) is None
+        assert pool.size == 1  # clone kept for compatible requests
+
+    def test_wrong_memory_misses(self):
+        bed, plant, pool = make_rig(target=1)
+        drive(bed.env, pool.fill())
+        assert drive(bed.env, pool.acquire(experiment_request(64))) is None
+
+
+class TestDrain:
+    def test_drain_collects_all(self):
+        bed, plant, pool = make_rig(target=2)
+        drive(bed.env, pool.fill())
+        assert drive(bed.env, pool.drain()) == 2
+        assert pool.size == 0
+        assert plant.active_vm_count() == 0

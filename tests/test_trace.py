@@ -1,0 +1,92 @@
+"""Tests for the tracing facility and its instrumentation points."""
+
+import pytest
+
+from repro.sim.cluster import build_testbed
+from repro.sim.kernel import Environment
+from repro.sim.trace import Tracer, trace
+from repro.workloads.requests import experiment_request
+
+
+class TestTracer:
+    def test_record_and_select(self):
+        tracer = Tracer()
+        tracer.record(1.0, "a", "one")
+        tracer.record(2.0, "b", "two", key="v")
+        tracer.record(3.0, "a", "three")
+        assert len(tracer) == 3
+        assert [e.message for e in tracer.select(category="a")] == [
+            "one", "three",
+        ]
+        assert [e.message for e in tracer.select(since=1.5)] == [
+            "two", "three",
+        ]
+        assert tracer.categories() == ["a", "b"]
+
+    def test_capacity_drops_oldest(self):
+        tracer = Tracer(capacity=2)
+        for i in range(5):
+            tracer.record(float(i), "c", f"m{i}")
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+        assert [e.message for e in tracer.events] == ["m3", "m4"]
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_event_str_includes_data(self):
+        tracer = Tracer()
+        tracer.record(1.5, "cat", "msg", vmid="vm1")
+        assert "vmid=vm1" in str(tracer.events[0])
+
+    def test_trace_noop_without_tracer(self):
+        env = Environment()
+        trace(env, "x", "nothing happens")  # must not raise
+
+    def test_trace_records_env_time(self):
+        env = Environment()
+        env.tracer = Tracer()
+
+        def proc(env):
+            yield env.timeout(4.5)
+            trace(env, "cat", "late")
+
+        env.run(until=env.process(proc(env)))
+        assert env.tracer.events[0].time == 4.5
+
+
+class TestInstrumentation:
+    def test_creation_emits_ordered_events(self):
+        bed = build_testbed(seed=13, n_plants=2)
+        tracer = Tracer()
+        bed.env.tracer = tracer
+        bed.run(bed.shop.create(experiment_request(32)))
+        categories = [e.category for e in tracer.events]
+        assert "shop" in categories
+        assert "ppp" in categories
+        assert "line" in categories
+        messages = [e.message for e in tracer.events]
+        # Causal order: bids → clone start → cloned → running → created.
+        assert messages.index("bids-collected") < messages.index(
+            "clone-start"
+        )
+        assert messages.index("clone-start") < messages.index("cloned")
+        assert messages.index("vm-running") < messages.index("created")
+
+    def test_no_tracer_no_overhead_events(self):
+        bed = build_testbed(seed=13, n_plants=2)
+        bed.run(bed.shop.create(experiment_request(32)))
+        assert getattr(bed.env, "tracer", None) is None
+
+    def test_migration_traced(self):
+        from repro.plant.migration import MigrationManager
+
+        bed = build_testbed(seed=13, n_plants=2)
+        tracer = Tracer()
+        bed.env.tracer = tracer
+        manager = MigrationManager(bed.env, link=bed.internode)
+        bed.run(bed.plants[0].create(experiment_request(32), "vm1"))
+        bed.run(manager.migrate(bed.plants[0], bed.plants[1], "vm1"))
+        migration = tracer.select(category="migration")
+        assert [e.message for e in migration] == ["start", "done"]

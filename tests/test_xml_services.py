@@ -1,0 +1,90 @@
+"""End-to-end XML service dispatch at the plant (prototype wire form)."""
+
+import pytest
+
+from repro.core.classad import ClassAd
+from repro.core.errors import PlantError
+from repro.core.spec import DestroyRequest, QueryRequest
+from repro.shop.protocol import service_request_to_xml
+from repro.sim.cluster import build_testbed
+from repro.workloads.requests import experiment_request
+
+
+@pytest.fixture
+def site():
+    bed = build_testbed(seed=61, n_plants=1)
+    return bed, bed.plants[0]
+
+
+class TestPlantXMLDispatch:
+    def test_create_via_xml(self, site):
+        bed, plant = site
+        wire = service_request_to_xml(experiment_request(32))
+        ad_text = bed.run(plant.handle_xml(wire, vmid="vm-x1"))
+        ad = ClassAd.from_string(ad_text)
+        assert ad["vmid"] == "vm-x1"
+        assert ad["status"] == "running"
+
+    def test_create_requires_vmid(self, site):
+        bed, plant = site
+        wire = service_request_to_xml(experiment_request(32))
+        with pytest.raises(PlantError, match="vmid"):
+            plant.handle_xml(wire)
+
+    def test_estimate_via_xml(self, site):
+        bed, plant = site
+        wire = service_request_to_xml(
+            experiment_request(32), service="estimate"
+        )
+        bid = plant.handle_xml(wire)
+        assert isinstance(bid, float)
+
+    def test_estimate_declines_via_xml(self, site):
+        bed, plant = site
+        wire = service_request_to_xml(
+            experiment_request(4096), service="estimate"
+        )
+        assert plant.handle_xml(wire) is None
+
+    def test_query_via_xml(self, site):
+        bed, plant = site
+        wire = service_request_to_xml(experiment_request(32))
+        bed.run(plant.handle_xml(wire, vmid="vm-x1"))
+        query_wire = service_request_to_xml(
+            QueryRequest(vmid="vm-x1", attributes=("status", "ip"))
+        )
+        ad = ClassAd.from_string(plant.handle_xml(query_wire))
+        assert ad["status"] == "running"
+        assert len(ad) == 2
+
+    def test_destroy_via_xml(self, site):
+        bed, plant = site
+        wire = service_request_to_xml(experiment_request(32))
+        bed.run(plant.handle_xml(wire, vmid="vm-x1"))
+        destroy_wire = service_request_to_xml(
+            DestroyRequest(vmid="vm-x1")
+        )
+        ad = ClassAd.from_string(bed.run(plant.handle_xml(destroy_wire)))
+        assert ad["status"] == "collected"
+        assert plant.active_vm_count() == 0
+
+    def test_destroy_commit_via_xml(self, site):
+        bed, plant = site
+        wire = service_request_to_xml(experiment_request(32))
+        bed.run(plant.handle_xml(wire, vmid="vm-x1"))
+        destroy_wire = service_request_to_xml(
+            DestroyRequest(
+                vmid="vm-x1", commit=True, publish_as="xml-published"
+            )
+        )
+        bed.run(plant.handle_xml(destroy_wire))
+        assert "xml-published" in plant.warehouse
+
+    def test_full_lifecycle_classads_parse_back(self, site):
+        """Every wire-form classad is machine-parseable."""
+        bed, plant = site
+        wire = service_request_to_xml(experiment_request(32))
+        text = bed.run(plant.handle_xml(wire, vmid="vm-rt"))
+        ad = ClassAd.from_string(text)
+        # The classad survives a second round trip untouched.
+        assert ClassAd.from_string(ad.to_string()) == ad

@@ -1,0 +1,1 @@
+"""Wall-clock and events/sec micro-harness for the performance layer."""

@@ -1,0 +1,176 @@
+"""Performance micro-harness: suite wall-clock + DES events/sec.
+
+Times the three things the performance layer optimizes and records a
+trajectory so regressions are visible across commits:
+
+* **sequential vs. parallel** wall-clock of the paper creation suite
+  (fan-out only helps on multi-core hosts; both are recorded);
+* **cache cold vs. warm** wall-clock of the same suite through the
+  on-disk result cache;
+* **kernel throughput** — events/sec of the DES kernel under the
+  fig4-style creation workload (event count taken from the kernel's
+  own monotonically increasing event id).
+
+Each invocation appends one record to
+``benchmarks/results/BENCH_parallel_runner.json``.
+
+Run::
+
+    PYTHONPATH=src python -m benchmarks.perf.harness          # paper workload
+    PYTHONPATH=src python -m benchmarks.perf.harness --small  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.runner import PAPER_RUNS, run_creation_suite
+from repro.sim.cluster import build_testbed
+from repro.workloads.requests import request_stream
+
+__all__ = [
+    "SMALL_RUNS",
+    "measure_suite",
+    "measure_cache",
+    "measure_kernel",
+    "run_harness",
+    "BENCH_PATH",
+]
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "results" / (
+    "BENCH_parallel_runner.json"
+)
+
+#: Scaled-down plan for smoke runs: same shape, ~10x less work.
+SMALL_RUNS: Dict[int, tuple] = {
+    32: (12, 0.05),
+    64: (12, 0.02),
+    256: (6, 0.0),
+}
+
+PAPER_SEED = 2004
+
+
+def measure_suite(
+    runs: Dict[int, tuple], seed: int = PAPER_SEED
+) -> Tuple[float, float]:
+    """(sequential_s, parallel_s) wall-clock for the creation suite."""
+    t0 = time.perf_counter()
+    run_creation_suite(seed=seed, runs=runs)
+    seq = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    run_creation_suite(seed=seed, runs=runs, parallel=True)
+    par = time.perf_counter() - t0
+    return seq, par
+
+
+def measure_cache(
+    runs: Dict[int, tuple],
+    seed: int = PAPER_SEED,
+    root: Optional[Path] = None,
+) -> Tuple[float, float]:
+    """(cold_s, warm_s) wall-clock through a fresh result cache."""
+    if root is not None:
+        cache = ResultCache(root=root, enabled=True)
+        t0 = time.perf_counter()
+        run_creation_suite(seed=seed, runs=runs, cache=cache)
+        cold = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        run_creation_suite(seed=seed, runs=runs, cache=cache)
+        warm = time.perf_counter() - t0
+        return cold, warm
+    with tempfile.TemporaryDirectory() as tmp:
+        return measure_cache(runs, seed=seed, root=Path(tmp))
+
+
+def measure_kernel(
+    seed: int = PAPER_SEED, count: int = 64, memory_mb: int = 64
+) -> Tuple[int, float]:
+    """(events, events_per_sec) for a fig4-style creation stream."""
+    bed = build_testbed(seed=seed)
+
+    def client():
+        for request in request_stream(memory_mb, count):
+            yield from bed.shop.create(request)
+
+    t0 = time.perf_counter()
+    bed.run(client())
+    wall = time.perf_counter() - t0
+    events = bed.env._eid
+    return events, events / wall if wall > 0 else float("inf")
+
+
+def run_harness(
+    small: bool = False,
+    out: Optional[Path] = None,
+    kernel_count: Optional[int] = None,
+) -> dict:
+    """Run all measurements; append the record to the trajectory file."""
+    runs = SMALL_RUNS if small else PAPER_RUNS
+    seq_s, par_s = measure_suite(runs)
+    cold_s, warm_s = measure_cache(runs)
+    if kernel_count is None:
+        kernel_count = 16 if small else 64
+    events, eps = measure_kernel(count=kernel_count)
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "workload": "small" if small else "paper",
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "suite_sequential_s": round(seq_s, 4),
+        "suite_parallel_s": round(par_s, 4),
+        "parallel_speedup": round(seq_s / par_s, 2) if par_s else None,
+        "cache_cold_s": round(cold_s, 4),
+        "cache_warm_s": round(warm_s, 5),
+        "cache_speedup": round(cold_s / warm_s, 1) if warm_s else None,
+        "kernel_events": events,
+        "kernel_events_per_sec": round(eps, 1),
+    }
+    path = out or BENCH_PATH
+    trajectory = load_trajectory(path)
+    trajectory.append(record)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    with os.fdopen(fd, "w") as fh:
+        json.dump(trajectory, fh, indent=2)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return record
+
+
+def load_trajectory(path: Optional[Path] = None) -> list:
+    """The recorded benchmark trajectory (empty if absent/corrupt)."""
+    path = path or BENCH_PATH
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+        return data if isinstance(data, list) else []
+    except (OSError, ValueError):
+        return []
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--small",
+        action="store_true",
+        help="scaled-down workload (CI smoke)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="trajectory file path"
+    )
+    args = parser.parse_args()
+    record = run_harness(small=args.small, out=args.out)
+    print(json.dumps(record, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Perf smoke: small workload, regression + speedup guardrails.
+
+Designed to be robust on shared CI hardware: the wall-clock ceiling
+is generous (2x the best recorded small-workload run, with an
+absolute floor), the parallel-speedup assertion only applies on
+multi-core hosts, and the cache assertion is relative (warm load must
+beat a fresh simulation), not an absolute time.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from benchmarks.perf.harness import (
+    SMALL_RUNS,
+    load_trajectory,
+    measure_cache,
+    measure_kernel,
+    measure_suite,
+)
+
+#: Absolute wall-clock floor (s) below which we never flag a
+#: regression — keeps the 2x rule from flaking on noise-sized runs.
+_FLOOR_S = 5.0
+
+
+def _best_recorded(metric: str, workload: str) -> float:
+    values = [
+        rec[metric]
+        for rec in load_trajectory()
+        if rec.get("workload") == workload and rec.get(metric)
+    ]
+    return min(values) if values else 0.0
+
+
+def test_small_suite_within_regression_budget():
+    seq_s, par_s = measure_suite(SMALL_RUNS, seed=7)
+    best = _best_recorded("suite_sequential_s", "small")
+    budget = max(2.0 * best, _FLOOR_S)
+    assert seq_s < budget, (
+        f"sequential small suite took {seq_s:.2f}s, "
+        f">2x the recorded best ({best:.2f}s)"
+    )
+    if (os.cpu_count() or 1) >= 2:
+        # Fan-out must not be slower than sequential by more than the
+        # pool spin-up overhead on a genuinely parallel host.
+        assert par_s < max(2.0 * seq_s, _FLOOR_S)
+
+
+def test_cache_warm_load_beats_simulation(tmp_path):
+    cold_s, warm_s = measure_cache(SMALL_RUNS, seed=7, root=tmp_path)
+    assert warm_s < cold_s, (
+        f"cache hit ({warm_s:.4f}s) not faster than fresh "
+        f"simulation ({cold_s:.4f}s)"
+    )
+    # The warm path is a pickle load; even small workloads beat 3x.
+    assert cold_s / warm_s > 3.0
+
+
+def test_kernel_throughput_floor():
+    events, eps = measure_kernel(seed=7, count=16)
+    assert events > 500  # the workload actually exercised the kernel
+    best = _best_recorded("kernel_events_per_sec", "small")
+    if best:
+        assert eps > best / 2.0, (
+            f"kernel throughput {eps:.0f} ev/s is <half the recorded "
+            f"best ({best:.0f} ev/s)"
+        )
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2, reason="parallel speedup needs >1 CPU"
+)
+def test_parallel_speedup_on_multicore():
+    from repro.experiments.runner import PAPER_RUNS
+
+    seq_s, par_s = measure_suite(PAPER_RUNS, seed=2004)
+    assert seq_s / par_s >= 1.5, (
+        f"parallel suite speedup only {seq_s / par_s:.2f}x "
+        f"({seq_s:.2f}s -> {par_s:.2f}s)"
+    )

@@ -68,20 +68,15 @@ def _textnumbers(args) -> str:
 
 
 def _ablations(args) -> str:
-    from repro.experiments.ablations import (
-        run_clone_mode_ablation,
-        run_cost_model_ablation,
-        run_matching_ablation,
-        run_speculative_ablation,
-    )
+    from repro.experiments.ablations import run_all_ablations
 
-    parts = [
-        run_clone_mode_ablation(seed=args.seed).render(),
-        run_matching_ablation(seed=args.seed).render(),
-        run_speculative_ablation(seed=args.seed).render(),
-        run_cost_model_ablation(seed=args.seed).render(),
-    ]
-    return "\n\n".join(parts)
+    # Fan out across a process pool where the host allows; the merge
+    # is deterministic, so the rendered order below never changes.
+    results = run_all_ablations(
+        seed=args.seed,
+        names=("clone_mode", "matching", "speculative", "cost_model"),
+    )
+    return "\n\n".join(r.render() for r in results.values())
 
 
 def _concurrency(args) -> str:

@@ -4,8 +4,25 @@ One module per artifact: Figures 4–6, the UML study, the Section 3.4
 cost-function illustration, the in-text numbers of Section 4.3, and
 the ablations DESIGN.md calls out.  Benchmarks under ``benchmarks/``
 are thin wrappers that run these and print paper-style tables.
+
+The performance layer lives here too: :mod:`repro.experiments.
+parallel` fans independent runs out across a process pool with a
+deterministic merge, and :mod:`repro.experiments.cache` memoizes
+results on disk keyed by (experiment id, parameters, seed, source
+digest).
 """
 
+from repro.experiments.cache import (
+    ResultCache,
+    default_cache,
+    source_digest,
+)
+from repro.experiments.parallel import (
+    Job,
+    parallel_map,
+    run_jobs,
+    run_seed_sweep,
+)
 from repro.experiments.runner import (
     CreationSample,
     ExperimentRun,
@@ -18,4 +35,11 @@ __all__ = [
     "ExperimentRun",
     "run_creation_experiment",
     "run_creation_suite",
+    "Job",
+    "run_jobs",
+    "parallel_map",
+    "run_seed_sweep",
+    "ResultCache",
+    "default_cache",
+    "source_digest",
 ]

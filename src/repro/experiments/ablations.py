@@ -47,6 +47,8 @@ __all__ = [
     "run_matching_ablation",
     "run_speculative_ablation",
     "run_cost_model_ablation",
+    "ABLATIONS",
+    "run_all_ablations",
 ]
 
 REDHAT_OS = "linux-redhat-8.0"
@@ -399,3 +401,56 @@ def run_cost_model_ablation(
     return CostModelAblation(
         fresh_networks=fresh, load_imbalance=imbalance
     )
+
+
+# ---------------------------------------------------------------------------
+# Suite fan-out
+# ---------------------------------------------------------------------------
+
+#: Name → driver for every ablation above.  Each driver builds its own
+#: seeded testbed(s), so the set is embarrassingly parallel.
+ABLATIONS: Dict[str, object] = {
+    "clone_mode": run_clone_mode_ablation,
+    "matching": run_matching_ablation,
+    "speculative": run_speculative_ablation,
+    "state_cache": run_state_cache_ablation,
+    "cost_model": run_cost_model_ablation,
+}
+
+
+def run_all_ablations(
+    seed: int = 2004,
+    mode: str = "auto",
+    max_workers: int = None,
+    cache=None,
+    names=None,
+) -> Dict[str, object]:
+    """Run every ablation (or the ``names`` subset), fanned out.
+
+    Results merge in :data:`ABLATIONS` order regardless of completion
+    order.  With a :class:`~repro.experiments.cache.ResultCache`,
+    each ablation result is memoized on disk individually.
+    """
+    from repro.experiments.parallel import Job, run_jobs
+
+    selected = {
+        name: fn
+        for name, fn in ABLATIONS.items()
+        if names is None or name in names
+    }
+    results: Dict[str, object] = {}
+    pending = []
+    for name, fn in selected.items():
+        if cache is not None:
+            hit = cache.get(f"ablation-{name}", {"seed": seed})
+            if hit is not None:
+                results[name] = hit
+                continue
+        pending.append(Job(key=name, fn=fn, kwargs={"seed": seed}))
+    if pending:
+        fresh = run_jobs(pending, mode=mode, max_workers=max_workers)
+        for name, value in fresh.items():
+            if cache is not None:
+                cache.put(f"ablation-{name}", {"seed": seed}, value)
+            results[name] = fresh[name]
+    return {name: results[name] for name in selected if name in results}

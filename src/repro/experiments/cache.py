@@ -1,0 +1,236 @@
+"""Content-addressed on-disk cache for experiment results.
+
+Re-simulating the paper suite on every pytest session (or every
+``examples/reproduce_paper.py`` invocation) is pure waste: the runs
+are deterministic functions of (experiment id, parameters, seed,
+simulator source).  :class:`ResultCache` memoizes results on disk
+under a key that hashes exactly those four inputs, so
+
+* a second session with unchanged code loads the pickled result in
+  milliseconds instead of re-simulating, and
+* *any* edit to the ``repro`` package source changes the digest and
+  transparently invalidates every entry — no manual cache busting
+  after simulator changes.
+
+Entries are written atomically (temp file + :func:`os.replace`), so
+an interrupted run can never leave a truncated artifact that poisons
+later sessions; a corrupt or unreadable entry is treated as a miss
+and deleted.
+
+Opt-outs: pass ``enabled=False``, set ``REPRO_NO_CACHE=1``, or use
+``--no-cache`` on the CLI entry points that expose it.  The cache
+root defaults to ``~/.cache/vmplants-repro`` and can be moved with
+``REPRO_CACHE_DIR``.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import fields, is_dataclass
+from pathlib import Path
+from typing import Any, Iterator, Mapping, Optional
+
+__all__ = [
+    "ResultCache",
+    "default_cache",
+    "source_digest",
+    "param_token",
+    "cache_enabled_by_env",
+]
+
+_DIGEST_CACHE: Optional[str] = None
+
+
+def source_digest(refresh: bool = False) -> str:
+    """Digest of every ``repro`` source file (cached per process).
+
+    Hashes relative path + content of all ``*.py`` files under the
+    installed ``repro`` package in sorted order, so any source change
+    anywhere in the simulator, plants, shop or experiment code yields
+    a different digest.
+    """
+    global _DIGEST_CACHE
+    if _DIGEST_CACHE is not None and not refresh:
+        return _DIGEST_CACHE
+    import repro
+
+    root = Path(repro.__file__).parent
+    h = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        h.update(str(path.relative_to(root)).encode())
+        h.update(b"\0")
+        h.update(path.read_bytes())
+        h.update(b"\0")
+    _DIGEST_CACHE = h.hexdigest()
+    return _DIGEST_CACHE
+
+
+def param_token(value: Any) -> str:
+    """Canonical, recursion-stable string form of a parameter value.
+
+    Handles the types experiment signatures actually use — scalars,
+    enums, dataclasses (e.g. ``LatencyModel``), model objects (e.g.
+    cost models, via class name + instance ``__dict__``), and nested
+    containers with deterministic dict ordering.
+    """
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return repr(value)
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if is_dataclass(value) and not isinstance(value, type):
+        inner = ",".join(
+            f"{f.name}={param_token(getattr(value, f.name))}"
+            for f in fields(value)
+        )
+        return f"{type(value).__name__}({inner})"
+    if isinstance(value, Mapping):
+        inner = ",".join(
+            f"{param_token(k)}:{param_token(value[k])}"
+            for k in sorted(value, key=repr)
+        )
+        return f"{{{inner}}}"
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = list(value)
+        if isinstance(value, (set, frozenset)):
+            items = sorted(items, key=repr)
+        inner = ",".join(param_token(v) for v in items)
+        return f"{type(value).__name__}[{inner}]"
+    state = getattr(value, "__dict__", None)
+    if state is not None:
+        return f"{type(value).__qualname__}({param_token(dict(state))})"
+    return repr(value)
+
+
+def cache_enabled_by_env() -> bool:
+    """False when ``REPRO_NO_CACHE`` disables caching globally."""
+    return os.environ.get("REPRO_NO_CACHE", "").lower() not in (
+        "1",
+        "true",
+        "yes",
+    )
+
+
+class ResultCache:
+    """Pickle store keyed by (experiment id, params, source digest)."""
+
+    def __init__(
+        self,
+        root: Optional[os.PathLike] = None,
+        enabled: bool = True,
+        digest: Optional[str] = None,
+    ):
+        env_root = os.environ.get("REPRO_CACHE_DIR")
+        if root is None:
+            root = env_root or (
+                Path.home() / ".cache" / "vmplants-repro"
+            )
+        self.root = Path(root)
+        self.enabled = enabled and cache_enabled_by_env()
+        #: Override of the source digest (tests use this to simulate
+        #: stale entries); None means "hash the live source tree".
+        self._digest = digest
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys -----------------------------------------------------------
+    def digest(self) -> str:
+        return self._digest or source_digest()
+
+    def key(self, experiment_id: str, params: Mapping[str, Any]) -> str:
+        token = param_token(dict(params))
+        blob = f"{experiment_id}\0{token}\0{self.digest()}"
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def path(self, experiment_id: str, params: Mapping[str, Any]) -> Path:
+        key = self.key(experiment_id, params)
+        return self.root / f"{experiment_id}-{key[:32]}.pkl"
+
+    # -- storage --------------------------------------------------------
+    def get(self, experiment_id: str, params: Mapping[str, Any]) -> Any:
+        """The cached result, or None on a miss (or disabled cache)."""
+        if not self.enabled:
+            return None
+        path = self.path(experiment_id, params)
+        try:
+            with path.open("rb") as fh:
+                value = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Corrupt/unreadable entry: drop it and recompute.
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return value
+
+    def put(
+        self, experiment_id: str, params: Mapping[str, Any], value: Any
+    ) -> None:
+        """Store ``value`` atomically; silently no-op on I/O failure."""
+        if not self.enabled:
+            return
+        detach = getattr(value, "detach", None)
+        if callable(detach):
+            value = detach()
+        path = self.path(experiment_id, params)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=str(self.root), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(value, fh, pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except (OSError, pickle.PicklingError):
+            pass
+
+    # -- maintenance ----------------------------------------------------
+    def entries(self) -> Iterator[Path]:
+        if not self.root.is_dir():
+            return iter(())
+        return iter(sorted(self.root.glob("*.pkl")))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __repr__(self) -> str:
+        state = "on" if self.enabled else "off"
+        return (
+            f"<ResultCache {state} root={self.root}"
+            f" hits={self.hits} misses={self.misses}>"
+        )
+
+
+_DEFAULT: Optional[ResultCache] = None
+
+
+def default_cache() -> ResultCache:
+    """Process-wide cache instance (honours the env opt-outs)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = ResultCache()
+    return _DEFAULT

@@ -1,0 +1,153 @@
+"""Parallel experiment fan-out with a deterministic merge.
+
+The SC'04 evaluation is embarrassingly parallel: every creation
+stream, ablation and extension experiment builds its own seeded
+testbed, so independent runs never share mutable state.  This module
+fans such runs out across a :mod:`concurrent.futures` process pool
+and merges the results **in submission order**, which makes parallel
+execution bit-identical to sequential execution — the only thing that
+changes is wall-clock time.
+
+Three layers of API:
+
+* :class:`Job` + :func:`run_jobs` — the generic primitive: a keyed
+  list of (picklable) callables, executed serially or on a pool,
+  returned as a ``{key: result}`` dict in submission order;
+* :func:`parallel_map` — positional convenience over ``run_jobs``;
+* :func:`run_seed_sweep` — multi-seed replication of one experiment.
+
+Results that own a live testbed (an :class:`~repro.experiments.
+runner.ExperimentRun`) are detached in the worker before crossing the
+process boundary; see :meth:`ExperimentRun.detach`.
+
+Workers default to ``os.cpu_count()`` and can be pinned with the
+``REPRO_MAX_WORKERS`` environment variable.  On a single-core host
+(or for a single job) ``mode="auto"`` falls back to in-process serial
+execution, avoiding pool overhead where it cannot pay off.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "Job",
+    "run_jobs",
+    "parallel_map",
+    "run_seed_sweep",
+    "default_workers",
+    "rendered",
+]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unit of fan-out work: ``fn(**kwargs)`` labelled by ``key``."""
+
+    key: Any
+    fn: Callable
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+
+def default_workers() -> int:
+    """Worker-pool width: ``REPRO_MAX_WORKERS`` or the CPU count."""
+    override = os.environ.get("REPRO_MAX_WORKERS")
+    if override:
+        try:
+            return max(1, int(override))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def _detached(result: Any) -> Any:
+    """Make ``result`` safe to pickle back to the parent process."""
+    detach = getattr(result, "detach", None)
+    if callable(detach):
+        return detach()
+    return result
+
+
+def _worker(fn: Callable, kwargs: Dict[str, Any]) -> Any:
+    """Top-level pool entry point (must be importable for pickling)."""
+    return _detached(fn(**kwargs))
+
+
+def run_jobs(
+    jobs: Sequence[Job],
+    mode: str = "auto",
+    max_workers: Optional[int] = None,
+) -> Dict[Any, Any]:
+    """Run ``jobs`` and return ``{job.key: result}`` in submission order.
+
+    ``mode`` is ``"serial"`` (in-process, results keep live testbeds),
+    ``"process"`` (pool of worker processes, results are detached), or
+    ``"auto"`` (process pool when it can help: more than one job and
+    more than one usable worker).  The merge is deterministic: results
+    are collected future-by-future in submission order, so completion
+    order never leaks into the returned dict.
+    """
+    jobs = list(jobs)
+    if mode not in ("auto", "serial", "process"):
+        raise ValueError(f"unknown mode {mode!r}")
+    keys = [job.key for job in jobs]
+    if len(set(keys)) != len(keys):
+        raise ValueError("job keys must be unique")
+
+    workers = max_workers if max_workers is not None else default_workers()
+    workers = max(1, min(int(workers), len(jobs) or 1))
+    if mode == "auto":
+        mode = "process" if workers > 1 and len(jobs) > 1 else "serial"
+
+    if mode == "serial" or not jobs:
+        return {job.key: job.fn(**job.kwargs) for job in jobs}
+
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            (job.key, pool.submit(_worker, job.fn, job.kwargs))
+            for job in jobs
+        ]
+        return {key: future.result() for key, future in futures}
+
+
+def parallel_map(
+    fn: Callable,
+    kwargs_list: Iterable[Dict[str, Any]],
+    mode: str = "auto",
+    max_workers: Optional[int] = None,
+) -> List[Any]:
+    """Apply ``fn`` to each kwargs dict; results in input order."""
+    jobs = [
+        Job(key=index, fn=fn, kwargs=kwargs)
+        for index, kwargs in enumerate(kwargs_list)
+    ]
+    results = run_jobs(jobs, mode=mode, max_workers=max_workers)
+    return [results[index] for index in range(len(jobs))]
+
+
+def rendered(fn: Callable, **kwargs: Any) -> str:
+    """Run ``fn(**kwargs)`` and return its ``render()`` string.
+
+    Fan-out helper for report sections whose result objects hold live
+    testbeds (and so cannot cross a process boundary themselves): the
+    rendering happens in the worker, only text comes back.
+    """
+    return fn(**kwargs).render()
+
+
+def run_seed_sweep(
+    fn: Callable,
+    seeds: Sequence[int],
+    mode: str = "auto",
+    max_workers: Optional[int] = None,
+    **kwargs: Any,
+) -> Dict[int, Any]:
+    """Replicate one experiment across ``seeds``; keyed by seed."""
+    jobs = [
+        Job(key=seed, fn=fn, kwargs={**kwargs, "seed": seed})
+        for seed in seeds
+    ]
+    return run_jobs(jobs, mode=mode, max_workers=max_workers)

@@ -66,11 +66,21 @@ class ExperimentRun:
     samples: List[CreationSample] = field(default_factory=list)
     classads: List[ClassAd] = field(default_factory=list)
     testbed: Optional[Testbed] = None
+    #: Materialized clone records for detached (testbed-free) runs, as
+    #: produced by :meth:`detach` — e.g. after crossing a process
+    #: boundary in the parallel runner or a round-trip through the
+    #: on-disk result cache.
+    frozen_clone_records: Optional[List[CloneRecord]] = None
 
     @property
     def successes(self) -> List[CreationSample]:
         """Samples whose creation completed."""
         return [s for s in self.samples if s.ok]
+
+    @property
+    def failures(self) -> List[CreationSample]:
+        """Samples whose creation failed."""
+        return [s for s in self.samples if not s.ok]
 
     @property
     def creation_latencies(self) -> List[float]:
@@ -79,6 +89,8 @@ class ExperimentRun:
 
     def clone_records(self) -> List[CloneRecord]:
         """Clone records of successful creations, in request order."""
+        if self.frozen_clone_records is not None:
+            return list(self.frozen_clone_records)
         good = {s.vmid for s in self.successes}
         return [
             r
@@ -90,6 +102,23 @@ class ExperimentRun:
     def clone_times(self) -> List[float]:
         """Cloning latencies (PPP clone request → resume complete)."""
         return [r.total_time for r in self.clone_records()]
+
+    def detach(self) -> "ExperimentRun":
+        """A picklable copy with clone records materialized.
+
+        The live testbed (environment, plants, generators) cannot
+        cross process boundaries or be written to the result cache;
+        everything the analysis layer reads — samples, classads, clone
+        records — is preserved bit-for-bit.
+        """
+        return ExperimentRun(
+            memory_mb=self.memory_mb,
+            vm_type=self.vm_type,
+            samples=list(self.samples),
+            classads=list(self.classads),
+            testbed=None,
+            frozen_clone_records=self.clone_records(),
+        )
 
 
 def run_creation_experiment(
@@ -155,16 +184,64 @@ def run_creation_suite(
     seed: int = 2004,
     runs: Optional[Dict[int, tuple]] = None,
     latency: LatencyModel = DEFAULT_LATENCY,
+    *,
+    n_plants: int = 8,
+    vm_type: str = "vmware",
+    clone_mode: CloneMode = CloneMode.LINK,
+    cost_model: Optional[CostModel] = None,
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
+    cache: Optional[object] = None,
 ) -> Dict[int, ExperimentRun]:
-    """The paper's three creation experiments (32/64/256 MB)."""
+    """The paper's three creation experiments (32/64/256 MB).
+
+    Every run owns an independent seeded testbed, so the suite is
+    embarrassingly parallel: with ``parallel=True`` the runs fan out
+    across a process pool (see :mod:`repro.experiments.parallel`) and
+    are merged back in plan order — results are bit-identical to
+    sequential execution.  Passing a :class:`~repro.experiments.cache.
+    ResultCache` as ``cache`` memoizes each run on disk keyed by
+    (experiment id, parameters, seed, source digest).
+    """
+    from repro.experiments.parallel import Job, run_jobs
+
     plan = runs or PAPER_RUNS
-    return {
-        memory: run_creation_experiment(
-            memory,
-            count,
+    results: Dict[int, ExperimentRun] = {}
+    pending: List[tuple] = []
+    for memory, (count, failure_prob) in plan.items():
+        kwargs = dict(
+            memory_mb=memory,
+            count=count,
             seed=seed + memory,  # independent testbed per run
             failure_prob=failure_prob,
+            vm_type=vm_type,
             latency=latency,
+            cost_model=cost_model,
+            clone_mode=clone_mode,
+            n_plants=n_plants,
         )
-        for memory, (count, failure_prob) in plan.items()
-    }
+        if cache is not None:
+            hit = cache.get("creation", kwargs)
+            if hit is not None:
+                results[memory] = hit
+                continue
+        pending.append((memory, kwargs))
+
+    if pending:
+        jobs = [
+            Job(key=memory, fn=run_creation_experiment, kwargs=kwargs)
+            for memory, kwargs in pending
+        ]
+        fresh = run_jobs(
+            jobs,
+            mode="process" if parallel else "serial",
+            max_workers=max_workers,
+        )
+        for memory, kwargs in pending:
+            run = fresh[memory]
+            if cache is not None:
+                cache.put("creation", kwargs, run)
+            results[memory] = run
+
+    # Deterministic merge: plan order, independent of completion order.
+    return {memory: results[memory] for memory in plan}

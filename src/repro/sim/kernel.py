@@ -26,6 +26,9 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
 __all__ = [
     "SimulationError",
     "Interrupt",
@@ -66,6 +69,8 @@ class Event:
     or :meth:`fail` schedules it, and *processed* once the kernel has
     invoked its callbacks.  Each event may be triggered exactly once.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -149,10 +154,14 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` time units after creation."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
+        self.env = env
+        self.callbacks = []
+        self.defused = False
         self.delay = delay
         self._ok = True
         self._value = value
@@ -164,6 +173,8 @@ class Timeout(Event):
 
 class Initialize(Event):
     """Internal event that starts a freshly created process."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process"):
         super().__init__(env)
@@ -179,6 +190,8 @@ class Process(Event):
     returns (value = the generator's return value) or raises (failure
     carrying the exception).
     """
+
+    __slots__ = ("_generator", "_target", "_generation")
 
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "throw"):
@@ -298,6 +311,8 @@ class Process(Event):
 class _Condition(Event):
     """Base for AllOf/AnyOf composition events."""
 
+    __slots__ = ("events", "_count")
+
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
         self.events: Tuple[Event, ...] = tuple(events)
@@ -344,12 +359,16 @@ class _Condition(Event):
 class AllOf(_Condition):
     """Fires when *all* component events have fired successfully."""
 
+    __slots__ = ()
+
     def _satisfied(self, count: int, total: int) -> bool:
         return count == total
 
 
 class AnyOf(_Condition):
     """Fires when *any* component event has fired successfully."""
+
+    __slots__ = ()
 
     def _satisfied(self, count: int, total: int) -> bool:
         return count >= 1
@@ -367,11 +386,15 @@ class EmptySchedule(Exception):
 class Environment:
     """Execution environment: clock plus the pending-event queue."""
 
+    __slots__ = ("_now", "_queue", "_eid", "_active_proc", "tracer")
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active_proc: Optional[Process] = None
+        #: Optional structured tracer (see :mod:`repro.sim.trace`).
+        self.tracer = None
 
     @property
     def now(self) -> float:
@@ -412,10 +435,8 @@ class Environment:
         delay: float = 0.0,
     ) -> None:
         """Enqueue ``event`` to fire ``delay`` after the current time."""
-        self._eid += 1
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, self._eid, event)
-        )
+        self._eid = eid = self._eid + 1
+        _heappush(self._queue, (self._now + delay, priority, eid, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when idle."""
@@ -425,12 +446,14 @@ class Environment:
         """Process exactly one event (advancing the clock to it)."""
         if not self._queue:
             raise EmptySchedule()
-        when, _prio, _eid, event = heapq.heappop(self._queue)
-        self._now = when
+        entry = _heappop(self._queue)
+        self._now = entry[0]
+        event = entry[3]
         callbacks = event.callbacks
         event.callbacks = None
-        for callback in callbacks or ():
-            callback(event)
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
         if event._ok is False and not event.defused:
             # An un-waited-for failure must not pass silently.
             raise event._value
@@ -459,21 +482,30 @@ class Environment:
             # rather than at step() time.
             stop_event.callbacks.append(_defuse)
 
-        while True:
-            if stop_event is not None and stop_event.processed:
-                if not stop_event._ok:
-                    raise stop_event._value
-                return stop_event._value
-            if not self._queue:
-                if stop_event is not None:
+        # Three specialized loops keep the per-event overhead of the
+        # common cases (run-to-exhaustion, run-until-event) minimal.
+        step = self.step
+        queue = self._queue
+        if stop_event is not None:
+            while stop_event.callbacks is not None:
+                if not queue:
                     raise SimulationError(
                         "run(until=event): queue empty before event fired"
                     )
-                return None
-            if stop_at is not None and self._queue[0][0] > stop_at:
+                step()
+            if not stop_event._ok:
+                raise stop_event._value
+            return stop_event._value
+        if stop_at is None:
+            while queue:
+                step()
+            return None
+        while queue:
+            if queue[0][0] > stop_at:
                 self._now = stop_at
-                return None
-            self.step()
+                break
+            step()
+        return None
 
     def __repr__(self) -> str:
         return f"<Environment now={self._now} pending={len(self._queue)}>"

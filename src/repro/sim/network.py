@@ -52,6 +52,8 @@ class FairShareLink:
         self._next_id = 0
         self._last_update = env.now
         self._timer_gen = 0
+        #: Absolute fire time of the valid pending timer (None if idle).
+        self._timer_deadline: Optional[float] = None
         # Accounting for utilization reports.
         self.total_mb = 0.0
         self.busy_time = 0.0
@@ -130,18 +132,36 @@ class FairShareLink:
             self._busy_since = None
 
     def _reschedule(self) -> None:
-        self._timer_gen += 1
-        if not self._flows:
-            return
-        gen = self._timer_gen
-        min_remaining = min(f.remaining for f in self._flows.values())
-        delay = max(0.0, min_remaining / self._rate())
-        self.env.process(self._timer(gen, delay))
+        """(Re)arm the completion timer for the earliest-finishing flow.
 
-    def _timer(self, gen: int, delay: float) -> Generator:
-        yield self.env.timeout(delay)
+        The timer is a bare :class:`~repro.sim.kernel.Timeout` with a
+        direct callback — no generator/process machinery on this hot
+        path.  Population changes that leave the next completion time
+        unchanged are *batched*: the already-armed timer is kept
+        instead of being superseded, so a burst of same-instant
+        arrivals costs one timer, not one per arrival.
+        """
+        if not self._flows:
+            # Invalidate any pending timer; the link went idle.
+            self._timer_gen += 1
+            self._timer_deadline = None
+            return
+        min_remaining = min(f.remaining for f in self._flows.values())
+        deadline = self.env.now + max(0.0, min_remaining / self._rate())
+        if self._timer_deadline is not None and self._timer_deadline == deadline:
+            return  # batched: the armed timer already fires then
+        self._timer_gen += 1
+        gen = self._timer_gen
+        self._timer_deadline = deadline
+        timeout = self.env.timeout(deadline - self.env.now)
+        timeout.callbacks.append(
+            lambda _ev, gen=gen: self._on_timer(gen)
+        )
+
+    def _on_timer(self, gen: int) -> None:
         if gen != self._timer_gen:
             return  # superseded by a population change
+        self._timer_deadline = None
         self._drain()
         self._complete_due()
         self._reschedule()

@@ -32,6 +32,8 @@ class Request(Event):
             ... hold the slot ...
     """
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource: "Resource"):
         super().__init__(resource.env)
         self.resource = resource
@@ -50,6 +52,8 @@ class Request(Event):
 
 class Release(Event):
     """Immediate event confirming a slot release."""
+
+    __slots__ = ()
 
     def __init__(self, resource: "Resource", request: Request):
         super().__init__(resource.env)
@@ -112,6 +116,8 @@ class Resource:
 
 
 class _ContainerPut(Event):
+    __slots__ = ("amount",)
+
     def __init__(self, container: "Container", amount: float):
         if amount <= 0:
             raise ValueError("amount must be positive")
@@ -120,6 +126,8 @@ class _ContainerPut(Event):
 
 
 class _ContainerGet(Event):
+    __slots__ = ("amount",)
+
     def __init__(self, container: "Container", amount: float):
         if amount <= 0:
             raise ValueError("amount must be positive")
@@ -208,7 +216,7 @@ class Container:
 
 
 class _StoreGet(Event):
-    pass
+    __slots__ = ()
 
 
 class Store:

@@ -1,0 +1,243 @@
+"""Parallel fan-out and result-cache correctness.
+
+The performance layer's contract is strict: fanning the suite out
+across worker processes, or loading it back from the on-disk cache,
+must be *bit-identical* to fresh sequential execution — same samples,
+same clone records, same histograms.  These tests pin that contract,
+plus the runner pass-through/`failures` satellites.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.analysis.histograms import FIG4_BIN_CENTERS, histogram
+from repro.experiments.cache import ResultCache, param_token
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.parallel import (
+    Job,
+    parallel_map,
+    run_jobs,
+    run_seed_sweep,
+)
+from repro.experiments.runner import (
+    PAPER_RUNS,
+    run_creation_experiment,
+    run_creation_suite,
+)
+from repro.plant.production import CloneMode
+
+SMALL_RUNS = {32: (5, 0.2), 64: (4, 0.0)}
+
+
+def run_fingerprint(run) -> str:
+    """NaN-safe bit-exact fingerprint of one ExperimentRun."""
+    samples = [
+        (s.index, s.memory_mb, s.ok, repr(s.latency), s.vmid, s.plant, s.error)
+        for s in run.samples
+    ]
+    clones = [
+        (
+            r.vmid,
+            repr(r.started_at),
+            repr(r.copy_time),
+            repr(r.resume_time),
+            repr(r.total_time),
+            repr(r.pressure),
+            r.host_vms_before,
+        )
+        for r in run.clone_records()
+    ]
+    return repr((run.memory_mb, run.vm_type, samples, clones))
+
+
+def suite_fingerprint(suite) -> str:
+    return repr({m: run_fingerprint(suite[m]) for m in sorted(suite)})
+
+
+class TestParallelFanout:
+    def test_small_suite_parallel_bit_identical(self):
+        seq = run_creation_suite(seed=9, runs=SMALL_RUNS)
+        par = run_creation_suite(
+            seed=9, runs=SMALL_RUNS, parallel=True, max_workers=2
+        )
+        assert suite_fingerprint(seq) == suite_fingerprint(par)
+
+    def test_full_paper_suite_parallel_bit_identical(self):
+        """Acceptance: seed-2004 PAPER_RUNS, sequential == parallel."""
+        seq = run_creation_suite(seed=2004)
+        par = run_creation_suite(seed=2004, parallel=True)
+        assert suite_fingerprint(seq) == suite_fingerprint(par)
+        assert run_figure4(suite=seq).render() == run_figure4(
+            suite=par
+        ).render()
+        assert run_figure5(suite=seq).render() == run_figure5(
+            suite=par
+        ).render()
+        assert list(seq) == list(PAPER_RUNS) == list(par)
+
+    def test_parallel_results_are_detached(self):
+        par = run_creation_suite(
+            seed=9, runs={32: (3, 0.0)}, parallel=True
+        )
+        run = par[32]
+        assert run.testbed is None
+        assert run.frozen_clone_records is not None
+        pickle.dumps(run)  # must round-trip
+
+    def test_run_jobs_rejects_duplicate_keys(self):
+        jobs = [
+            Job(key="a", fn=len, kwargs={"obj": ()}),
+            Job(key="a", fn=len, kwargs={"obj": ()}),
+        ]
+        with pytest.raises(ValueError):
+            run_jobs(jobs)
+
+    def test_run_jobs_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            run_jobs([], mode="threads")
+
+    def test_merge_is_submission_ordered(self):
+        jobs = [
+            Job(key=k, fn=run_creation_experiment,
+                kwargs={"memory_mb": 32, "count": 1, "seed": k})
+            for k in (7, 3, 5)
+        ]
+        out = run_jobs(jobs, mode="process", max_workers=2)
+        assert list(out) == [7, 3, 5]
+
+    def test_parallel_map_preserves_order(self):
+        results = parallel_map(
+            run_creation_experiment,
+            [
+                {"memory_mb": 32, "count": 1, "seed": 1},
+                {"memory_mb": 64, "count": 1, "seed": 2},
+            ],
+            mode="serial",
+        )
+        assert [r.memory_mb for r in results] == [32, 64]
+
+    def test_seed_sweep_is_keyed_by_seed(self):
+        out = run_seed_sweep(
+            run_creation_experiment,
+            seeds=(11, 12),
+            mode="serial",
+            memory_mb=32,
+            count=2,
+        )
+        assert list(out) == [11, 12]
+        a = [s.latency for s in out[11].successes]
+        b = [s.latency for s in out[12].successes]
+        assert a != b
+
+
+class TestResultCache:
+    def test_cached_suite_identical_to_fresh(self, tmp_path):
+        """Satellite: cached load reproduces Figs 4/5 bit-for-bit."""
+        cache = ResultCache(root=tmp_path)
+        fresh = run_creation_suite(seed=9, runs=SMALL_RUNS, cache=cache)
+        assert cache.misses == len(SMALL_RUNS) and cache.hits == 0
+        cached = run_creation_suite(seed=9, runs=SMALL_RUNS, cache=cache)
+        assert cache.hits == len(SMALL_RUNS)
+        assert suite_fingerprint(fresh) == suite_fingerprint(cached)
+        for m in SMALL_RUNS:
+            fresh_hist = histogram(
+                fresh[m].creation_latencies, FIG4_BIN_CENTERS
+            )
+            cached_hist = histogram(
+                cached[m].creation_latencies, FIG4_BIN_CENTERS
+            )
+            assert fresh_hist == cached_hist
+        assert run_figure4(suite=fresh).render() == run_figure4(
+            suite=cached
+        ).render()
+        assert run_figure5(suite=fresh).render() == run_figure5(
+            suite=cached
+        ).render()
+
+    def test_stale_source_digest_forces_recompute(self, tmp_path):
+        warm = ResultCache(root=tmp_path, digest="digest-A")
+        run_creation_suite(seed=9, runs={32: (2, 0.0)}, cache=warm)
+        hit = ResultCache(root=tmp_path, digest="digest-A")
+        run_creation_suite(seed=9, runs={32: (2, 0.0)}, cache=hit)
+        assert hit.hits == 1 and hit.misses == 0
+        stale = ResultCache(root=tmp_path, digest="digest-B")
+        run_creation_suite(seed=9, runs={32: (2, 0.0)}, cache=stale)
+        assert stale.hits == 0 and stale.misses == 1
+
+    def test_params_partition_the_keyspace(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        run_creation_suite(seed=9, runs={32: (2, 0.0)}, cache=cache)
+        other = run_creation_suite(
+            seed=10, runs={32: (2, 0.0)}, cache=cache
+        )
+        assert cache.hits == 0 and cache.misses == 2
+        assert other[32].samples  # actually simulated, not a stale hit
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        run_creation_suite(seed=9, runs={32: (2, 0.0)}, cache=cache)
+        (entry,) = list(cache.entries())
+        entry.write_bytes(b"truncated garbage")
+        again = ResultCache(root=tmp_path)
+        suite = run_creation_suite(
+            seed=9, runs={32: (2, 0.0)}, cache=again
+        )
+        assert again.misses == 1 and suite[32].samples
+
+    def test_put_leaves_no_temp_files(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        run_creation_suite(seed=9, runs={32: (2, 0.0)}, cache=cache)
+        assert not list(tmp_path.glob("*.tmp"))
+        assert len(list(cache.entries())) == 1
+
+    def test_env_kill_switch(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        cache = ResultCache(root=tmp_path)
+        assert not cache.enabled
+        run_creation_suite(seed=9, runs={32: (2, 0.0)}, cache=cache)
+        assert not list(cache.entries())
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        run_creation_suite(seed=9, runs=SMALL_RUNS, cache=cache)
+        assert cache.clear() == len(SMALL_RUNS)
+        assert not list(cache.entries())
+
+    def test_param_token_is_order_insensitive_for_dicts(self):
+        assert param_token({"a": 1, "b": 2.0}) == param_token(
+            {"b": 2.0, "a": 1}
+        )
+        assert param_token(CloneMode.LINK) != param_token(CloneMode.COPY)
+
+
+class TestRunnerSatellites:
+    def test_failures_property_partitions_samples(self):
+        run = run_creation_experiment(32, 12, seed=3, failure_prob=0.4)
+        assert run.failures, "expected injected failures at p=0.4"
+        assert len(run.failures) + len(run.successes) == len(run.samples)
+        assert all(not s.ok and s.error for s in run.failures)
+
+    def test_suite_passes_through_clone_mode_and_n_plants(self):
+        suite = run_creation_suite(
+            seed=9,
+            runs={256: (3, 0.0)},
+            n_plants=2,
+            clone_mode=CloneMode.COPY,
+        )
+        run = suite[256]
+        records = run.clone_records()
+        assert records and all(r.clone_mode == "copy" for r in records)
+        assert {s.plant for s in run.successes} <= {"plant0", "plant1"}
+
+    def test_suite_passes_through_vm_type(self):
+        suite = run_creation_suite(
+            seed=9, runs={32: (2, 0.0)}, vm_type="uml", n_plants=2
+        )
+        assert suite[32].vm_type == "uml"
+        assert all(
+            r.vm_type == "uml" for r in suite[32].clone_records()
+        )

@@ -12,7 +12,9 @@ trajectory so regressions are visible across commits:
   own monotonically increasing event id).
 
 Each invocation appends one record to
-``benchmarks/results/BENCH_parallel_runner.json``.
+``benchmarks/results/BENCH_parallel_runner.json``, then runs the
+matching-throughput sweep (``benchmarks.perf.matching_bench``) which
+appends its own record to ``benchmarks/results/BENCH_matching.json``.
 
 Run::
 
@@ -31,6 +33,7 @@ import time
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
+from benchmarks.perf.matching_bench import run_matching_bench
 from repro.experiments.cache import ResultCache
 from repro.experiments.runner import PAPER_RUNS, run_creation_suite
 from repro.sim.cluster import build_testbed
@@ -112,6 +115,7 @@ def run_harness(
     small: bool = False,
     out: Optional[Path] = None,
     kernel_count: Optional[int] = None,
+    matching: bool = True,
 ) -> dict:
     """Run all measurements; append the record to the trajectory file."""
     runs = SMALL_RUNS if small else PAPER_RUNS
@@ -143,6 +147,10 @@ def run_harness(
         json.dump(trajectory, fh, indent=2)
         fh.write("\n")
     os.replace(tmp, path)
+    if matching:
+        # Separate trajectory file: the matching sweep has its own
+        # regression check in CI (see test_perf_smoke.py).
+        record["matching"] = run_matching_bench(small=small)
     return record
 
 

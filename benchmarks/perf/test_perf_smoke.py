@@ -20,6 +20,10 @@ from benchmarks.perf.harness import (
     measure_kernel,
     measure_suite,
 )
+from benchmarks.perf.matching_bench import (
+    load_matching_trajectory,
+    measure_matching,
+)
 
 #: Absolute wall-clock floor (s) below which we never flag a
 #: regression — keeps the 2x rule from flaking on noise-sized runs.
@@ -68,6 +72,42 @@ def test_kernel_throughput_floor():
             f"kernel throughput {eps:.0f} ev/s is <half the recorded "
             f"best ({best:.0f} ev/s)"
         )
+
+
+def test_matching_index_beats_naive_at_smoke_size():
+    """Same-run relative guardrail for the matching fast path.
+
+    At 200 images the indexed path clears naive by a wide margin
+    locally (>10x); the threshold is conservative for noisy shared
+    runners.  The memoized path answers repeat bids from the memo, so
+    it must beat even the index.
+    """
+    point = measure_matching(200)
+    assert point["indexed_speedup"] >= 3.0, (
+        f"indexed matching only {point['indexed_speedup']}x naive "
+        f"at 200 images"
+    )
+    assert (
+        point["memoized_bids_per_sec"] >= point["indexed_bids_per_sec"]
+    ), "memoized select slower than the bare index"
+
+
+def test_matching_throughput_regression_vs_trajectory():
+    """Indexed bids/sec must stay within 2x of the recorded best."""
+    best = 0.0
+    for rec in load_matching_trajectory():
+        for point in rec.get("points", []):
+            if point.get("images") == 200 and point.get(
+                "indexed_bids_per_sec"
+            ):
+                best = max(best, point["indexed_bids_per_sec"])
+    if not best:
+        pytest.skip("no recorded small-workload matching trajectory")
+    point = measure_matching(200)
+    assert point["indexed_bids_per_sec"] > best / 2.0, (
+        f"indexed matching {point['indexed_bids_per_sec']:.0f} bids/s "
+        f"is <half the recorded best ({best:.0f} bids/s)"
+    )
 
 
 @pytest.mark.skipif(

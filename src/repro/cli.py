@@ -13,6 +13,7 @@ Subcommands map one-to-one to the experiment drivers::
     vmplants concurrency
     vmplants migration
     vmplants scalability
+    vmplants matching
     vmplants resilience
     vmplants replicas
     vmplants all                  # everything, in order
@@ -95,6 +96,12 @@ def _scalability(args) -> str:
     from repro.experiments.scalability import run_scalability
 
     return run_scalability(seed=args.seed).render()
+
+
+def _matching(args) -> str:
+    from repro.experiments.scalability import run_matching_scalability
+
+    return run_matching_scalability(seed=args.seed).render()
 
 
 def _resilience(args) -> str:
@@ -183,6 +190,15 @@ def build_parser() -> argparse.ArgumentParser:
                 help="compare boot vs. SBUML checkpoint-resume cloning",
             )
         cmd.set_defaults(runner=runner)
+
+    # Not part of ``all``: the selects/s column is host wall-clock,
+    # while ``all`` stays deterministic per seed.
+    matching = sub.add_parser(
+        "matching",
+        help="warehouse-size sweep of the indexed matching path",
+    )
+    matching.add_argument("--seed", type=int, default=2004)
+    matching.set_defaults(runner=_matching)
 
     everything = sub.add_parser("all", help="regenerate every artifact")
     everything.add_argument("--seed", type=int, default=2004)

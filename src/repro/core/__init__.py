@@ -39,11 +39,13 @@ from repro.core.errors import (
 from repro.core.matching import (
     MatchResult,
     match_image,
+    match_performed,
     partial_order_test,
     prefix_test,
     select_golden,
     subset_test,
 )
+from repro.core.matchindex import MatchIndex
 from repro.core.spec import (
     CreateRequest,
     DestroyRequest,
@@ -68,6 +70,7 @@ __all__ = [
     "ErrorPolicy",
     "HardwareSpec",
     "MatchError",
+    "MatchIndex",
     "MatchResult",
     "NetworkSpec",
     "PlantError",
@@ -82,6 +85,7 @@ __all__ = [
     "dag_to_xml",
     "evaluate",
     "match_image",
+    "match_performed",
     "partial_order_test",
     "prefix_test",
     "request_from_xml",

@@ -16,6 +16,19 @@ to any action node.
 All iteration orders are deterministic (insertion order, with
 lexicographic tie-breaking in the topological sort) so runs are
 reproducible.
+
+Matching performance
+--------------------
+Warehouse matching (Section 3.2) runs the Subset/Prefix/Partial Order
+tests against every candidate image on every bid, so the structural
+queries they need — the action-name set, per-node ancestor closures,
+the topological order, ``structure()`` — are memoized here.  Node
+names are interned into a name→bit table and closures are stored as
+int bitsets, making each test a few machine-word AND/OR operations
+instead of per-call dict copies and DFS walks.  Every cache is
+invalidated by the mutators (:meth:`ConfigDAG.add_action`,
+:meth:`ConfigDAG.add_edge`, :meth:`ConfigDAG.attach_handler`), so a
+DAG that is still being built behaves exactly like an uncached one.
 """
 
 from __future__ import annotations
@@ -53,6 +66,38 @@ class ConfigDAG:
         self._succ: Dict[str, List[str]] = {}
         self._pred: Dict[str, List[str]] = {}
         self._handlers: Dict[str, "ConfigDAG"] = {}
+        #: Bumped on every mutation; guards every structural cache.
+        self._version = 0
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        """Drop all memoized structure (called by every mutator)."""
+        self._version += 1
+        self._topo_cache: Optional[Tuple[str, ...]] = None
+        self._names_cache: Optional[FrozenSet[str]] = None
+        self._bits_cache: Optional[Dict[str, int]] = None
+        self._anc_mask_cache: Optional[Dict[str, int]] = None
+        self._pred_mask_cache: Optional[Dict[str, int]] = None
+        self._sig_cache: Optional[Dict[str, str]] = None
+        self._structure_cache: Optional[Tuple[Tuple, Tuple]] = None
+        self._hash_cache: Optional[int] = None
+        self._fingerprint_cache: Optional[Tuple[Tuple, str]] = None
+
+    def _state_token(self) -> Tuple:
+        """Version vector covering this DAG and its handler tree.
+
+        ``structure()`` (and everything derived from it) depends on
+        attached handlers, which remain externally mutable after
+        :meth:`attach_handler`; the token lets those caches detect
+        handler mutations at any nesting depth.
+        """
+        return (
+            self._version,
+            tuple(
+                (name, handler._state_token())
+                for name, handler in self._handlers.items()
+            ),
+        )
 
     # -- construction ----------------------------------------------------
     def add_action(self, action: Action) -> "ConfigDAG":
@@ -64,6 +109,7 @@ class ConfigDAG:
         self._actions[action.name] = action
         self._succ[action.name] = []
         self._pred[action.name] = []
+        self._invalidate()
         return self
 
     def add_edge(self, before: str, after: str) -> "ConfigDAG":
@@ -81,6 +127,7 @@ class ConfigDAG:
             )
         self._succ[before].append(after)
         self._pred[after].append(before)
+        self._invalidate()
         return self
 
     def attach_handler(self, action: str, handler: "ConfigDAG") -> "ConfigDAG":
@@ -89,6 +136,7 @@ class ConfigDAG:
             raise DAGError(f"unknown action {action!r}")
         handler.validate()
         self._handlers[action] = handler
+        self._invalidate()
         return self
 
     @classmethod
@@ -186,6 +234,83 @@ class ConfigDAG:
         """True iff the DAG orders ``first`` strictly before ``second``."""
         return second in self.descendants(first)
 
+    # -- structural caches (matching hot path) ---------------------------------
+    def action_name_set(self) -> FrozenSet[str]:
+        """Memoized frozen set of action names (Subset Test)."""
+        cached = self._names_cache
+        if cached is None:
+            cached = self._names_cache = frozenset(self._actions)
+        return cached
+
+    def name_bits(self) -> Mapping[str, int]:
+        """Memoized name→bit interning table (insertion order)."""
+        cached = self._bits_cache
+        if cached is None:
+            cached = self._bits_cache = {
+                name: bit for bit, name in enumerate(self._actions)
+            }
+        return cached
+
+    def predecessor_masks(self) -> Mapping[str, int]:
+        """Memoized name→bitset of immediate predecessors."""
+        cached = self._pred_mask_cache
+        if cached is None:
+            bits = self.name_bits()
+            cached = self._pred_mask_cache = {
+                name: sum(1 << bits[p] for p in preds)
+                for name, preds in self._pred.items()
+            }
+        return cached
+
+    def ancestor_masks(self) -> Mapping[str, int]:
+        """Memoized name→bitset of the full ancestor closure.
+
+        Computed in one topological pass (closure[n] = OR over
+        immediate predecessors p of closure[p] | bit[p]) instead of a
+        per-query DFS — this is what makes the Partial Order Test
+        cheap on the warehouse matching path.
+        """
+        cached = self._anc_mask_cache
+        if cached is None:
+            bits = self.name_bits()
+            masks: Dict[str, int] = {}
+            for name in self._topo():
+                mask = 0
+                for pred in self._pred[name]:
+                    mask |= masks[pred] | (1 << bits[pred])
+                masks[name] = mask
+            cached = self._anc_mask_cache = masks
+        return cached
+
+    def signature_map(self) -> Mapping[str, str]:
+        """Memoized name→signature map (signature-conflict test)."""
+        cached = self._sig_cache
+        if cached is None:
+            cached = self._sig_cache = {
+                name: action.signature
+                for name, action in self._actions.items()
+            }
+        return cached
+
+    def fingerprint(self) -> str:
+        """Stable content digest of :meth:`structure` (memo keys).
+
+        Two DAGs have equal fingerprints iff they are equal; the
+        digest is a compact string so request-level memo tables avoid
+        re-hashing deep structure tuples on every lookup.
+        """
+        token = self._state_token()
+        cached = self._fingerprint_cache
+        if cached is not None and cached[0] == token:
+            return cached[1]
+        import hashlib
+
+        digest = hashlib.sha256(
+            repr(self.structure()).encode("utf-8")
+        ).hexdigest()
+        self._fingerprint_cache = (token, digest)
+        return digest
+
     # -- validation and order ------------------------------------------------
     def validate(self) -> None:
         """Check structural invariants; raise :class:`DAGError` if violated.
@@ -200,12 +325,11 @@ class ConfigDAG:
         for handler in self._handlers.values():
             handler.validate()
 
-    def topological_sort(self) -> List[str]:
-        """Deterministic topological order (Kahn, lexicographic ties).
-
-        This is the order in which the PPP schedules residual actions
-        after cloning (Figure 3, step 3).
-        """
+    def _topo(self) -> Tuple[str, ...]:
+        """Memoized deterministic topological order."""
+        cached = self._topo_cache
+        if cached is not None:
+            return cached
         indeg = {n: len(self._pred[n]) for n in self._actions}
         ready = sorted(n for n, d in indeg.items() if d == 0)
         order: List[str] = []
@@ -221,7 +345,16 @@ class ConfigDAG:
                     heapq.heappush(ready, nxt)
         if len(order) != len(self._actions):
             raise DAGError("cycle detected")
-        return order
+        cached = self._topo_cache = tuple(order)
+        return cached
+
+    def topological_sort(self) -> List[str]:
+        """Deterministic topological order (Kahn, lexicographic ties).
+
+        This is the order in which the PPP schedules residual actions
+        after cloning (Figure 3, step 3).
+        """
+        return list(self._topo())
 
     # -- prefix machinery (matching support) ----------------------------------
     def is_prefix_set(self, names: Iterable[str]) -> bool:
@@ -230,11 +363,20 @@ class ConfigDAG:
         A golden image whose performed operations form such a set can
         serve as the cloning base (Prefix Test, Section 3.2).
         """
-        chosen = set(names)
-        if not chosen <= set(self._actions):
-            return False
+        bits = self.name_bits()
+        mask = 0
+        chosen: List[str] = []
+        for name in names:
+            bit = bits.get(name)
+            if bit is None:
+                return False
+            bit = 1 << bit
+            if not mask & bit:
+                mask |= bit
+                chosen.append(name)
+        pred_masks = self.predecessor_masks()
         for name in chosen:
-            if not set(self._pred[name]) <= chosen:
+            if pred_masks[name] & ~mask:
                 return False
         return True
 
@@ -273,7 +415,7 @@ class ConfigDAG:
         done = set(performed)
         if not self.is_prefix_set(done):
             raise DAGError("performed set is not a prefix of this DAG")
-        return [n for n in self.topological_sort() if n not in done]
+        return [n for n in self._topo() if n not in done]
 
     def subdag(self, names: Iterable[str]) -> "ConfigDAG":
         """Induced sub-DAG over ``names`` (handlers carried along)."""
@@ -292,8 +434,17 @@ class ConfigDAG:
 
     # -- structural equality --------------------------------------------------
     def structure(self) -> Tuple:
-        """Canonical hashable structure (for equality and hashing)."""
-        return (
+        """Canonical hashable structure (for equality and hashing).
+
+        Memoized against the handler-aware state token, so attached
+        handlers mutated after :meth:`attach_handler` still invalidate
+        the cached tuple.
+        """
+        token = self._state_token()
+        cached = self._structure_cache
+        if cached is not None and cached[0] == token:
+            return cached[1]
+        tup = (
             tuple(sorted(a.signature for a in self._actions.values())),
             tuple(sorted(self.edges())),
             tuple(
@@ -303,6 +454,9 @@ class ConfigDAG:
                 )
             ),
         )
+        self._structure_cache = (token, tup)
+        self._hash_cache = None
+        return tup
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ConfigDAG):
@@ -310,7 +464,10 @@ class ConfigDAG:
         return self.structure() == other.structure()
 
     def __hash__(self) -> int:
-        return hash(self.structure())
+        structure = self.structure()  # refreshes _hash_cache validity
+        if self._hash_cache is None:
+            self._hash_cache = hash(structure)
+        return self._hash_cache
 
     def __repr__(self) -> str:
         return (

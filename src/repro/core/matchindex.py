@@ -1,0 +1,175 @@
+"""Indexed golden-image matching for the VM Warehouse.
+
+The brute-force reference (:func:`repro.core.matching.select_golden`)
+re-runs the full Section 3.2 criterion against *every* image on every
+bid.  :class:`MatchIndex` makes the same selection without touching
+the request DAG for images that can never match:
+
+* images are bucketed by the exact-equality part of the hardware/
+  software criterion — ``(vm_type, os, isa, memory_mb)`` — so
+  vm-type/OS/hardware rejection is a dict lookup, not a scan;
+* within a bucket, images are grouped into *profiles* by their
+  performed sequence's ``(name, signature)`` pairs: every image in a
+  profile passes or fails the DAG-side tests identically, so the
+  Subset/Prefix/Partial Order/signature tests run once per distinct
+  profile instead of once per image;
+* the index is maintained incrementally by
+  :meth:`~repro.plant.warehouse.VMWarehouse.publish` /
+  :meth:`~repro.plant.warehouse.VMWarehouse.unpublish`.
+
+The selection is bit-identical to the brute-force path: the same
+image wins (deepest satisfied prefix, then lexicographically smallest
+image id) and the winner's :class:`MatchResult` carries the same
+satisfied/residual tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.dag import ConfigDAG
+from repro.core.matching import MatchResult, match_performed
+from repro.core.spec import HardwareSpec
+
+__all__ = ["MatchIndex"]
+
+#: Bucket key: the exact-equality part of the matching criterion.
+BucketKey = Tuple[str, str, str, int]
+#: Profile key: the performed sequence as (name, signature) pairs.
+ProfileKey = Tuple[Tuple[str, str], ...]
+
+
+class _Profile:
+    """All images of one bucket sharing one performed sequence."""
+
+    __slots__ = ("performed", "performed_names", "images")
+
+    def __init__(self, performed):
+        self.performed = performed
+        self.performed_names: Tuple[str, ...] = tuple(
+            a.name for a in performed
+        )
+        #: image_id → image, for deterministic winner selection.
+        self.images: Dict[str, object] = {}
+
+    @property
+    def depth(self) -> int:
+        return len(self.performed_names)
+
+
+class MatchIndex:
+    """Incrementally maintained index over a warehouse's images."""
+
+    def __init__(self) -> None:
+        self._buckets: Dict[BucketKey, Dict[ProfileKey, _Profile]] = {}
+        #: image_id → (bucket key, profile key) for O(1) removal.
+        self._locator: Dict[str, Tuple[BucketKey, ProfileKey]] = {}
+        #: Query counters (benchmarks and the scalability experiment).
+        self.stats: Dict[str, int] = {
+            "queries": 0,
+            "profiles_tested": 0,
+            "images_skipped_by_bucket": 0,
+        }
+        self._n_images = 0
+
+    def __len__(self) -> int:
+        return self._n_images
+
+    # -- maintenance -------------------------------------------------------
+    @staticmethod
+    def _bucket_key(image) -> BucketKey:
+        hw: HardwareSpec = image.hardware
+        return (image.vm_type, image.os, hw.isa, hw.memory_mb)
+
+    @staticmethod
+    def _profile_key(image) -> ProfileKey:
+        return tuple((a.name, a.signature) for a in image.performed)
+
+    def add(self, image) -> None:
+        """Index one published image."""
+        bucket_key = self._bucket_key(image)
+        profile_key = self._profile_key(image)
+        bucket = self._buckets.setdefault(bucket_key, {})
+        profile = bucket.get(profile_key)
+        if profile is None:
+            profile = bucket[profile_key] = _Profile(image.performed)
+        profile.images[image.image_id] = image
+        self._locator[image.image_id] = (bucket_key, profile_key)
+        self._n_images += 1
+
+    def remove(self, image_id: str) -> None:
+        """Drop one unpublished image (empty groups are pruned)."""
+        bucket_key, profile_key = self._locator.pop(image_id)
+        bucket = self._buckets[bucket_key]
+        profile = bucket[profile_key]
+        del profile.images[image_id]
+        if not profile.images:
+            del bucket[profile_key]
+        if not bucket:
+            del self._buckets[bucket_key]
+        self._n_images -= 1
+
+    # -- queries -----------------------------------------------------------
+    def _candidate_buckets(
+        self, hardware: HardwareSpec, os: str, vm_type: Optional[str]
+    ) -> List[Dict[ProfileKey, _Profile]]:
+        if vm_type is not None:
+            bucket = self._buckets.get(
+                (vm_type, os, hardware.isa, hardware.memory_mb)
+            )
+            return [bucket] if bucket is not None else []
+        want = (os, hardware.isa, hardware.memory_mb)
+        return [
+            bucket
+            for key, bucket in self._buckets.items()
+            if key[1:] == want
+        ]
+
+    def select(
+        self,
+        dag: ConfigDAG,
+        hardware: HardwareSpec,
+        os: str,
+        vm_type: Optional[str] = None,
+    ) -> Tuple[Optional[object], Optional[MatchResult]]:
+        """Best-matching image, bit-identical to ``select_golden``.
+
+        Returns ``(image, result)``; ``(None, None)`` when nothing
+        matches.  ``dag`` is assumed validated by the caller (the
+        warehouse's memoized entry point validates once per request).
+        """
+        self.stats["queries"] += 1
+        best_key: Optional[Tuple[int, str]] = None
+        best_image = None
+        best_names: Optional[Tuple[str, ...]] = None
+        considered = 0
+        for bucket in self._candidate_buckets(hardware, os, vm_type):
+            for profile in bucket.values():
+                considered += len(profile.images)
+                self.stats["profiles_tested"] += 1
+                if match_performed(profile.performed, dag) is not None:
+                    continue
+                for image_id, image in profile.images.items():
+                    hw = image.hardware
+                    if (
+                        hw.disk_gb < hardware.disk_gb
+                        or hw.cpus < hardware.cpus
+                    ):
+                        continue
+                    key = (-profile.depth, image_id)
+                    if best_key is None or key < best_key:
+                        best_key = key
+                        best_image = image
+                        best_names = profile.performed_names
+        self.stats["images_skipped_by_bucket"] += (
+            self._n_images - considered
+        )
+        if best_image is None or best_names is None:
+            return None, None
+        result = MatchResult(
+            best_image.image_id,
+            True,
+            satisfied=best_names,
+            residual=tuple(dag.residual_after(best_names)),
+        )
+        return best_image, result

@@ -22,12 +22,19 @@ equal memory and OS/ISA, and image disk within the requested size.
 leaving the fewest residual actions (deepest usable prefix), breaking
 ties deterministically by image id — this is what makes cloning fast
 when the warehouse already holds a well-configured machine.
+
+The individual tests run on :class:`~repro.core.dag.ConfigDAG`'s
+memoized structural caches (name→bit interning, ancestor-closure
+bitsets), so each is a handful of machine-word operations per
+performed action.  :func:`select_golden` remains the brute-force
+reference: the warehouse's :class:`~repro.core.matchindex.MatchIndex`
+must stay bit-identical to it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.actions import Action
 from repro.core.dag import ConfigDAG
@@ -39,6 +46,7 @@ __all__ = [
     "partial_order_test",
     "signature_test",
     "hardware_test",
+    "match_performed",
     "MatchResult",
     "match_image",
     "select_golden",
@@ -47,7 +55,7 @@ __all__ = [
 
 def subset_test(performed: Iterable[str], dag: ConfigDAG) -> bool:
     """True iff every performed operation is wanted by the request."""
-    return set(performed) <= set(dag.actions)
+    return dag.action_name_set().issuperset(performed)
 
 
 def prefix_test(performed: Iterable[str], dag: ConfigDAG) -> bool:
@@ -55,10 +63,7 @@ def prefix_test(performed: Iterable[str], dag: ConfigDAG) -> bool:
 
     Assumes the subset test already passed; returns False otherwise.
     """
-    done = set(performed)
-    if not done <= set(dag.actions):
-        return False
-    return dag.is_prefix_set(done)
+    return dag.is_prefix_set(performed)
 
 
 def partial_order_test(performed: Sequence[str], dag: ConfigDAG) -> bool:
@@ -68,17 +73,25 @@ def partial_order_test(performed: Sequence[str], dag: ConfigDAG) -> bool:
     must come earlier in the performed sequence.  Duplicate entries in
     the sequence fail the test.
     """
-    index: Dict[str, int] = {}
-    for i, name in enumerate(performed):
-        if name in index:
-            return False
-        index[name] = i
+    bits = dag.name_bits()
+    ancestors = dag.ancestor_masks()
+    performed_mask = 0
+    steps = []
     for name in performed:
-        if name not in dag:
+        bit = bits.get(name)
+        if bit is None:
             return False
-        for ancestor in dag.ancestors(name):
-            if ancestor in index and index[ancestor] > index[name]:
-                return False
+        bit = 1 << bit
+        if performed_mask & bit:
+            return False  # duplicate entry
+        performed_mask |= bit
+        steps.append((bit, ancestors[name]))
+    seen = 0
+    for bit, ancestor_mask in steps:
+        # Any performed ancestor not executed yet came *after* name.
+        if ancestor_mask & performed_mask & ~seen:
+            return False
+        seen |= bit
     return True
 
 
@@ -91,11 +104,35 @@ def signature_test(
     different signature (command, params or scope changed) would leave
     the clone in a state the request did not ask for.
     """
+    signatures = dag.signature_map()
     for action in performed_actions:
-        if action.name in dag:
-            if dag.action(action.name).signature != action.signature:
-                return False
+        expected = signatures.get(action.name)
+        if expected is not None and expected != action.signature:
+            return False
     return True
+
+
+def match_performed(
+    performed_actions: Sequence[Action], dag: ConfigDAG
+) -> Optional[str]:
+    """Run the four DAG-side Section 3.2 tests in criterion order.
+
+    Returns the failure reason (``"signature-conflict"``, ``"subset"``,
+    ``"prefix"`` or ``"partial-order"``) or None when the performed
+    sequence is a usable prefix of ``dag``.  Shared by
+    :func:`match_image`, the warehouse match index and the plant's
+    live-VM ``extend`` admission check.
+    """
+    names = [a.name for a in performed_actions]
+    if not signature_test(performed_actions, dag):
+        return "signature-conflict"
+    if not subset_test(names, dag):
+        return "subset"
+    if not prefix_test(names, dag):
+        return "prefix"
+    if not partial_order_test(names, dag):
+        return "partial-order"
+    return None
 
 
 def hardware_test(image_hw: HardwareSpec, requested: HardwareSpec) -> bool:
@@ -164,14 +201,9 @@ def match_image(
         return MatchResult(image.image_id, False, reason="hardware")
 
     performed_names = [a.name for a in image.performed]
-    if not signature_test(image.performed, dag):
-        return MatchResult(image.image_id, False, reason="signature-conflict")
-    if not subset_test(performed_names, dag):
-        return MatchResult(image.image_id, False, reason="subset")
-    if not prefix_test(performed_names, dag):
-        return MatchResult(image.image_id, False, reason="prefix")
-    if not partial_order_test(performed_names, dag):
-        return MatchResult(image.image_id, False, reason="partial-order")
+    reason = match_performed(image.performed, dag)
+    if reason is not None:
+        return MatchResult(image.image_id, False, reason=reason)
 
     satisfied = tuple(performed_names)
     residual = tuple(dag.residual_after(performed_names))

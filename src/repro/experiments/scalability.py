@@ -10,19 +10,40 @@ plant selection as the site grows:
   the shop only talks to the brokers, so its message count grows with
   the number of groups while placement quality is preserved (each
   broker answers with its best plant's bid).
+
+A second variant, :func:`run_matching_scalability`, grows the *golden
+warehouse* instead of the plant count: the site's eight plants bid on
+identical creations while the warehouse is padded with distinct
+(unmatchable) image profiles.  With the indexed + memoized matching
+path the per-site DAG-test work stays flat — every plant after the
+first hits the shared memo, and the index tests each distinct profile
+at most once per warehouse generation.
 """
 
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Dict, Generator, List, Tuple
 
+from repro.core.actions import Action
+from repro.core.spec import HardwareSpec
+from repro.plant.warehouse import GoldenImage
 from repro.shop.broker import VMBroker
 from repro.sim.cluster import build_testbed
-from repro.workloads.requests import experiment_request
+from repro.workloads.requests import (
+    MANDRAKE_OS,
+    experiment_request,
+    install_os_action,
+)
 
-__all__ = ["ScalabilityResult", "run_scalability"]
+__all__ = [
+    "ScalabilityResult",
+    "run_scalability",
+    "MatchingScalabilityResult",
+    "run_matching_scalability",
+]
 
 
 @dataclass
@@ -89,6 +110,106 @@ def _run_one(
     bed.run(client())
     calls = (shop.transport.calls - calls_before) / requests
     return calls, float(sum(latencies) / len(latencies))
+
+
+@dataclass
+class MatchingScalabilityResult:
+    """Warehouse-size sweep of the indexed/memoized matching path."""
+
+    #: extra filler images → per-run counters.
+    points: Dict[int, Dict[str, float]]
+    requests: int
+
+    def render(self) -> str:
+        lines = [
+            "Extension: matching scalability — warehouse size vs. "
+            f"matching work ({self.requests} x 32 MB creations per "
+            "point, 8 plants bidding)",
+            "",
+            f"{'images':>8} {'selects':>9} {'memo hits':>10} "
+            f"{'hit %':>7} {'profiles tested':>16} "
+            f"{'selects/s':>11}",
+            "-" * 68,
+        ]
+        for extra in sorted(self.points):
+            p = self.points[extra]
+            lines.append(
+                f"{p['images']:>8.0f} {p['selects']:>9.0f} "
+                f"{p['memo_hits']:>10.0f} {p['hit_pct']:>7.1f} "
+                f"{p['profiles_tested']:>16.0f} "
+                f"{p['selects_per_sec']:>11.0f}"
+            )
+        lines.append("-" * 68)
+        lines.append(
+            "every plant after the first answers from the shared memo; "
+            "the index tests each distinct profile at most once per "
+            "warehouse generation"
+        )
+        return "\n".join(lines)
+
+
+def _matching_fillers(n: int) -> List[GoldenImage]:
+    """Distinct-profile images in the hot bucket, none matchable.
+
+    Each filler shares the query's bucket (vm_type/os/isa/memory) so
+    the index cannot discard it wholesale, but carries a site-local
+    package action foreign to the request DAG, so the subset test
+    rejects it — a distinct profile the index must test exactly once.
+    """
+    base = install_os_action(MANDRAKE_OS)
+    return [
+        GoldenImage(
+            image_id=f"site-{i:05d}",
+            vm_type="vmware",
+            os=MANDRAKE_OS,
+            hardware=HardwareSpec(memory_mb=32),
+            performed=(
+                base,
+                Action(f"site-pkg-{i}", command=f"rpm -i pkg{i}.rpm"),
+            ),
+            memory_state_mb=32.0,
+        )
+        for i in range(n)
+    ]
+
+
+def _run_matching_one(
+    seed: int, extra: int, requests: int
+) -> Dict[str, float]:
+    bed = build_testbed(seed=seed, extra_images=_matching_fillers(extra))
+
+    def client() -> Generator:
+        for _ in range(requests):
+            yield from bed.shop.create(experiment_request(32))
+
+    t0 = time.perf_counter()
+    bed.run(client())
+    wall = time.perf_counter() - t0
+    stats = bed.warehouse.match_stats
+    selects = stats["queries"]
+    return {
+        "images": float(len(bed.warehouse)),
+        "selects": float(selects),
+        "memo_hits": float(stats["memo_hits"]),
+        "hit_pct": 100.0 * stats["memo_hits"] / selects if selects else 0.0,
+        "profiles_tested": float(
+            bed.warehouse.index_stats["profiles_tested"]
+        ),
+        "selects_per_sec": selects / wall if wall > 0 else float("inf"),
+    }
+
+
+def run_matching_scalability(
+    seed: int = 2004,
+    sizes: Tuple[int, ...] = (10, 100, 1000),
+    requests: int = 6,
+) -> MatchingScalabilityResult:
+    """Sweep warehouse sizes; counters are deterministic per seed."""
+    points = {
+        extra: _run_matching_one(seed, extra, requests)
+        for extra in sizes
+    }
+    return MatchingScalabilityResult(points=points, requests=requests)
 
 
 def run_scalability(

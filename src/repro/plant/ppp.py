@@ -29,7 +29,7 @@ from repro.core.actions import (
 )
 from repro.core.dag import ConfigDAG
 from repro.core.errors import ConfigurationError, PlantError
-from repro.core.matching import MatchResult, select_golden
+from repro.core.matching import MatchResult
 from repro.core.spec import CreateRequest
 from repro.plant.infosys import VMInformationSystem
 from repro.plant.production import (
@@ -83,6 +83,10 @@ class ProductionProcessPlanner:
         Preference: the requested technology if given, otherwise every
         line is considered and the deepest matching prefix wins
         (ties broken by line name for determinism).
+
+        Selection goes through the warehouse's match index and
+        per-request memo, so the plants of a site bidding on one
+        request evaluate the Section 3.2 criterion once.
         """
         request = order.request
         vm_types = (
@@ -96,8 +100,7 @@ class ProductionProcessPlanner:
             line = self.lines.get(vm_type)
             if line is None or not line.can_host(request):
                 continue
-            image, result, _ = select_golden(
-                self.warehouse.images(vm_type),
+            image, result = self.warehouse.select(
                 request.dag,
                 request.hardware,
                 request.software.os,

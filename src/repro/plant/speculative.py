@@ -60,10 +60,7 @@ class SpeculativeClonePool:
     @staticmethod
     def _base_dag(plant: VMPlant, prototype: CreateRequest) -> ConfigDAG:
         """DAG covering exactly the matched golden image's prefix."""
-        from repro.core.matching import select_golden
-
-        image, result, _ = select_golden(
-            plant.warehouse.images(prototype.vm_type),
+        image, result = plant.warehouse.select(
             prototype.dag,
             prototype.hardware,
             prototype.software.os,

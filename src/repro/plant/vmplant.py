@@ -19,12 +19,7 @@ from typing import Dict, Generator, Iterable, Mapping, Optional
 from repro.core.classad import ClassAd
 from repro.core.dag import ConfigDAG
 from repro.core.errors import PlantError, VNetError
-from repro.core.matching import (
-    partial_order_test,
-    prefix_test,
-    signature_test,
-    subset_test,
-)
+from repro.core.matching import match_performed
 from repro.core.spec import CreateRequest
 from repro.cost.models import CostModel, MemoryAvailableCost, PlantView
 from repro.plant.infosys import VMInformationSystem
@@ -237,17 +232,13 @@ class VMPlant(PlantView):
         dag.validate()
         vm = self.infosys.get(vmid)
         line = self.lines[vm.vm_type]
-        names = [a.name for a in vm.performed_actions]
-        if not (
-            signature_test(vm.performed_actions, dag)
-            and subset_test(names, dag)
-            and prefix_test(names, dag)
-            and partial_order_test(names, dag)
-        ):
+        if match_performed(vm.performed_actions, dag) is not None:
             raise PlantError(
                 f"VM {vmid!r} state conflicts with the extension DAG"
             )
-        residual = dag.residual_after(names)
+        residual = dag.residual_after(
+            [a.name for a in vm.performed_actions]
+        )
         ctx = {
             "vmid": vmid,
             "client": vm.request.client_id,

@@ -11,6 +11,14 @@ images) a memory-state file; the sizes drive the cloning cost model.
 VM installers publish new images via :meth:`VMWarehouse.publish`,
 making customized application environments available for subsequent
 instantiation — the paper's application-centric workflow.
+
+Matching performance: the warehouse maintains a
+:class:`~repro.core.matchindex.MatchIndex` incrementally on publish/
+unpublish and serves :meth:`VMWarehouse.select` through it, memoizing
+results per ``(dag fingerprint, hardware, os, vm_type)`` for the
+current warehouse *generation* — so the plants of a site bidding on
+the same request run the Section 3.2 tests once, not once per plant
+per image.
 """
 
 from __future__ import annotations
@@ -21,11 +29,18 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.actions import Action
 from repro.core.classad import ClassAd
+from repro.core.dag import ConfigDAG
 from repro.core.dagxml import action_from_element
 from repro.core.errors import ProtocolError, WarehouseError
+from repro.core.matching import MatchResult
+from repro.core.matchindex import MatchIndex
 from repro.core.spec import HardwareSpec
 
 __all__ = ["GoldenImage", "VMWarehouse"]
+
+#: Memo entries kept per generation before the table is reset; bounds
+#: memory when a long-lived site sees many distinct request shapes.
+_MEMO_LIMIT = 4096
 
 
 @dataclass(frozen=True)
@@ -88,8 +103,12 @@ class GoldenImage:
             }
         )
 
-    def to_xml(self) -> str:
-        """The warehouse XML descriptor for this image."""
+    def to_element(self) -> ET.Element:
+        """The warehouse XML descriptor as an Element tree.
+
+        :meth:`VMWarehouse.dump_xml` appends these directly instead of
+        round-tripping every image through string parsing.
+        """
         root = ET.Element(
             "golden-image",
             {
@@ -124,7 +143,11 @@ class GoldenImage:
                 ET.SubElement(el, "param", {"key": key, "value": value})
             for out in action.outputs:
                 ET.SubElement(el, "output", {"name": out})
-        return ET.tostring(root, encoding="unicode")
+        return root
+
+    def to_xml(self) -> str:
+        """The warehouse XML descriptor as a string (thin wrapper)."""
+        return ET.tostring(self.to_element(), encoding="unicode")
 
     @classmethod
     def from_xml(cls, text: str) -> "GoldenImage":
@@ -189,6 +212,13 @@ class VMWarehouse:
 
     def __init__(self, images: Iterable[GoldenImage] = ()):
         self._images: Dict[str, GoldenImage] = {}
+        self._index = MatchIndex()
+        #: Bumped on every publish/unpublish; keys the match memo.
+        self.generation = 0
+        self._memo: Dict[tuple, Tuple[Optional[GoldenImage], Optional[MatchResult]]] = {}
+        self._memo_generation = 0
+        #: Query/hit counters for benchmarks and experiments.
+        self.match_stats: Dict[str, int] = {"queries": 0, "memo_hits": 0}
         for image in images:
             self.publish(image)
 
@@ -205,13 +235,18 @@ class VMWarehouse:
                 f"image id {image.image_id!r} already published"
             )
         self._images[image.image_id] = image
+        self._index.add(image)
+        self.generation += 1
 
     def unpublish(self, image_id: str) -> GoldenImage:
         """Remove and return an image."""
         try:
-            return self._images.pop(image_id)
+            image = self._images.pop(image_id)
         except KeyError:
             raise WarehouseError(f"no image {image_id!r}") from None
+        self._index.remove(image_id)
+        self.generation += 1
+        return image
 
     def get(self, image_id: str) -> GoldenImage:
         """Look up an image by id."""
@@ -228,12 +263,52 @@ class VMWarehouse:
             if vm_type is None or img.vm_type == vm_type
         ]
 
+    # -- matching ------------------------------------------------------------
+    def select(
+        self,
+        dag: ConfigDAG,
+        hardware: HardwareSpec,
+        os: str,
+        vm_type: Optional[str] = None,
+    ) -> Tuple[Optional[GoldenImage], Optional[MatchResult]]:
+        """Best-matching golden image via the index, memoized.
+
+        Bit-identical to running the brute-force
+        :func:`~repro.core.matching.select_golden` over
+        :meth:`images`: same winning image, same satisfied/residual
+        tuples.  Results are memoized per ``(dag fingerprint,
+        hardware, os, vm_type)`` and invalidated by generation — any
+        publish/unpublish makes every memoized entry stale at once,
+        which is what lets P plants bidding on one request share a
+        single evaluation of the Section 3.2 tests.
+        """
+        dag.validate()
+        self.match_stats["queries"] += 1
+        if self._memo_generation != self.generation:
+            self._memo.clear()
+            self._memo_generation = self.generation
+        key = (dag.fingerprint(), hardware, os, vm_type)
+        hit = self._memo.get(key)
+        if hit is not None:
+            self.match_stats["memo_hits"] += 1
+            return hit
+        selection = self._index.select(dag, hardware, os, vm_type)
+        if len(self._memo) >= _MEMO_LIMIT:
+            self._memo.clear()
+        self._memo[key] = selection
+        return selection
+
+    @property
+    def index_stats(self) -> Dict[str, int]:
+        """The match index's query counters (read-only snapshot)."""
+        return dict(self._index.stats)
+
     # -- persistence ---------------------------------------------------------
     def dump_xml(self) -> str:
         """All descriptors as one ``<warehouse>`` document."""
         root = ET.Element("warehouse")
         for image in self._images.values():
-            root.append(ET.fromstring(image.to_xml()))
+            root.append(image.to_element())
         return ET.tostring(root, encoding="unicode")
 
     @classmethod

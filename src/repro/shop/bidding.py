@@ -12,7 +12,7 @@ deterministic stream.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Generator, List, Optional, Sequence
+from typing import Any, Dict, Generator, List, Optional, Sequence
 
 from repro.core.errors import ShopError
 from repro.core.spec import CreateRequest
@@ -83,11 +83,26 @@ class BidCollector:
         return self.rng.choice("bid-tie", winners)
 
     def rank(self, bids: Sequence[Bid]) -> List[Bid]:
-        """Bids from best to worst (ties shuffled deterministically)."""
-        remaining = list(bids)
+        """Bids from best to worst (ties shuffled deterministically).
+
+        Single pass: bids are grouped by cost, groups emitted in
+        ascending cost order, and each tie group is shuffled by
+        drawing from the ``bid-tie`` stream.  The draw sequence is
+        pinned by the golden trajectories: it must consume the stream
+        exactly as the former repeated ``select`` + ``remove`` loop
+        did (one draw per emitted bid while a group has ties, no draw
+        for the last member), so orderings are bit-identical while the
+        per-element full scan over all remaining bids is gone.
+        """
+        groups: Dict[float, List[Bid]] = {}
+        for bid in bids:
+            groups.setdefault(bid.cost, []).append(bid)
         ordered: List[Bid] = []
-        while remaining:
-            chosen = self.select(remaining)
-            ordered.append(chosen)
-            remaining.remove(chosen)
+        for cost in sorted(groups):
+            group = groups[cost]
+            while len(group) > 1:
+                chosen = self.rng.choice("bid-tie", group)
+                ordered.append(chosen)
+                group.remove(chosen)
+            ordered.append(group[0])
         return ordered

@@ -164,13 +164,16 @@ class VMShop:
         use_cache: bool = False,
     ) -> Generator:
         """Fetch a VM's classad (optionally served from the cache)."""
-        if use_cache and not tuple(attributes) and vmid in self._cache:
+        # Bind once: a generator argument would be exhausted by the
+        # first tuple() call and silently corrupt cache behaviour.
+        attrs = tuple(attributes)
+        if use_cache and not attrs and vmid in self._cache:
             return self._cache[vmid].copy()
         plant = self._plant_for(vmid)
         ad = yield from self.transport.call(
-            lambda: plant.query(vmid, tuple(attributes))
+            lambda: plant.query(vmid, attrs)
         )
-        if self.cache_classads and not tuple(attributes):
+        if self.cache_classads and not attrs:
             self._cache[vmid] = ad.copy()
         return ad
 

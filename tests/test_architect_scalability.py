@@ -4,7 +4,10 @@ import pytest
 
 from repro.core.errors import ShopError, VNetError
 from repro.experiments.ablations import run_state_cache_ablation
-from repro.experiments.scalability import run_scalability
+from repro.experiments.scalability import (
+    run_matching_scalability,
+    run_scalability,
+)
 from repro.sim.cluster import build_testbed
 from repro.vnet.architect import VMArchitect, router_dag
 from repro.workloads.requests import experiment_request
@@ -171,6 +174,24 @@ class TestScalability:
     def test_render(self):
         result = run_scalability(seed=41, sizes=(4,), requests=2)
         assert "brokered" in result.render()
+
+
+class TestMatchingScalability:
+    def test_memo_absorbs_repeat_bids(self):
+        result = run_matching_scalability(
+            seed=41, sizes=(10, 50), requests=3
+        )
+        small = result.points[10]
+        large = result.points[50]
+        assert large["images"] == small["images"] + 40
+        # All plants bid on each creation; identical requests share
+        # the memo, so only the first select per generation pays.
+        assert small["selects"] == large["selects"]
+        assert small["memo_hits"] == small["selects"] - 1
+        assert large["memo_hits"] == large["selects"] - 1
+        # Each distinct filler profile is tested at most once.
+        assert large["profiles_tested"] <= large["images"]
+        assert "matching scalability" in result.render()
 
 
 class TestStateCacheAblation:

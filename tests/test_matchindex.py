@@ -1,0 +1,315 @@
+"""MatchIndex vs. brute-force equivalence, caches, and satellites.
+
+The warehouse's indexed/memoized matching path must be bit-identical
+to the brute-force :func:`select_golden` reference: same winning
+image, same satisfied/residual tuples, for every randomized
+(DAG, warehouse, hardware) combination — including after interleaved
+publish/unpublish.  The property suite below covers chains, diamonds,
+wide fan-outs, random DAGs, signature conflicts and every hardware/os
+rejection axis, and asserts well over 200 randomized cases.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+import pytest
+
+from repro.core.actions import Action
+from repro.core.dag import ConfigDAG
+from repro.core.errors import DAGError
+from repro.core.matching import select_golden
+from repro.core.matchindex import MatchIndex
+from repro.core.spec import HardwareSpec
+from repro.plant.warehouse import GoldenImage, VMWarehouse
+
+OSES = ("rh8", "deb3")
+VM_TYPES = ("vmware", "uml")
+
+
+def action(i: int, command: Optional[str] = None) -> Action:
+    return Action(f"a{i}", command=command or f"cmd{i}")
+
+
+# -- random DAG shapes -------------------------------------------------------
+def chain_dag(rng: random.Random, n: int) -> ConfigDAG:
+    return ConfigDAG.from_sequence(action(i) for i in range(n))
+
+
+def diamond_dag(rng: random.Random, n: int) -> ConfigDAG:
+    """Source → middle layer → sink (classic diamond, width n-2)."""
+    n = max(n, 3)
+    dag = ConfigDAG()
+    for i in range(n):
+        dag.add_action(action(i))
+    for i in range(1, n - 1):
+        dag.add_edge("a0", f"a{i}")
+        dag.add_edge(f"a{i}", f"a{n - 1}")
+    return dag
+
+
+def fanout_dag(rng: random.Random, n: int) -> ConfigDAG:
+    """One root with n-1 independent children (maximal width)."""
+    dag = ConfigDAG()
+    for i in range(n):
+        dag.add_action(action(i))
+    for i in range(1, n):
+        dag.add_edge("a0", f"a{i}")
+    return dag
+
+
+def random_dag(rng: random.Random, n: int) -> ConfigDAG:
+    dag = ConfigDAG()
+    for i in range(n):
+        dag.add_action(action(i))
+    for j in range(1, n):
+        for i in range(j):
+            if rng.random() < 0.3:
+                dag.add_edge(f"a{i}", f"a{j}")
+    return dag
+
+
+DAG_SHAPES = (chain_dag, diamond_dag, fanout_dag, random_dag)
+
+
+def random_prefix_sequence(
+    rng: random.Random, dag: ConfigDAG, keep: float = 0.6
+) -> List[str]:
+    """A random linear extension of a random downward-closed subset."""
+    chosen: List[str] = []
+    have = set()
+    for name in dag.topological_sort():
+        if all(p in have for p in dag.predecessors(name)):
+            if rng.random() < keep:
+                chosen.append(name)
+                have.add(name)
+    # Random linear extension of the chosen ideal.
+    order: List[str] = []
+    remaining = set(chosen)
+    while remaining:
+        ready = sorted(
+            n for n in remaining
+            if all(p not in remaining for p in dag.predecessors(n))
+        )
+        pick = rng.choice(ready)
+        order.append(pick)
+        remaining.discard(pick)
+    return order
+
+
+def perturb(
+    rng: random.Random, dag: ConfigDAG, names: List[str]
+) -> Tuple[str, List[Action]]:
+    """Derive a (possibly broken) performed sequence from a prefix."""
+    kind = rng.choice(
+        ("valid", "shuffled", "foreign", "gap", "conflict")
+    )
+    actions = [dag.action(n) for n in names]
+    if kind == "shuffled" and len(actions) > 1:
+        rng.shuffle(actions)
+    elif kind == "foreign":
+        actions.append(Action("zz-foreign", command="zzz"))
+    elif kind == "gap" and actions:
+        del actions[rng.randrange(len(actions))]
+    elif kind == "conflict" and actions:
+        i = rng.randrange(len(actions))
+        actions[i] = Action(actions[i].name, command="conflicting!")
+    return kind, actions
+
+
+def random_image(
+    rng: random.Random, dag: ConfigDAG, idx: int
+) -> GoldenImage:
+    names = random_prefix_sequence(rng, dag)
+    _, performed = perturb(rng, dag, names)
+    return GoldenImage(
+        image_id=f"img{idx:03d}",
+        vm_type=rng.choice(VM_TYPES),
+        os=rng.choice(OSES),
+        hardware=HardwareSpec(
+            isa=rng.choice(("x86", "x86_64")),
+            memory_mb=rng.choice((32, 64)),
+            disk_gb=rng.choice((2.0, 4.0, 8.0)),
+            cpus=rng.choice((1, 2)),
+        ),
+        performed=tuple(performed),
+        memory_state_mb=float(rng.choice((0, 32))),
+    )
+
+
+def assert_equivalent(
+    wh: VMWarehouse,
+    dag: ConfigDAG,
+    hardware: HardwareSpec,
+    os: str,
+    vm_type: Optional[str],
+) -> int:
+    """Indexed+memoized result == brute force; returns 1 (case count)."""
+    brute_image, brute_result, _ = select_golden(
+        wh.images(vm_type), dag, hardware, os, vm_type
+    )
+    fast_image, fast_result = wh.select(dag, hardware, os, vm_type)
+    if brute_image is None:
+        assert fast_image is None and fast_result is None
+    else:
+        assert fast_image is brute_image
+        assert brute_result is not None and fast_result is not None
+        assert fast_result.image_id == brute_result.image_id
+        assert fast_result.satisfied == brute_result.satisfied
+        assert fast_result.residual == brute_result.residual
+        assert fast_result.matches and brute_result.matches
+    # Memoized replay must serve the identical object.
+    again_image, again_result = wh.select(dag, hardware, os, vm_type)
+    assert again_image is fast_image and again_result is fast_result
+    return 1
+
+
+class TestBruteForceEquivalence:
+    def test_randomized_equivalence_suite(self):
+        rng = random.Random(20040)
+        cases = 0
+        for round_no in range(40):
+            shape = DAG_SHAPES[round_no % len(DAG_SHAPES)]
+            dag = shape(rng, rng.randrange(3, 10))
+            wh = VMWarehouse(
+                random_image(rng, dag, i)
+                for i in range(rng.randrange(4, 14))
+            )
+            queries = [
+                (
+                    HardwareSpec(
+                        isa=rng.choice(("x86", "x86_64")),
+                        memory_mb=rng.choice((32, 64)),
+                        disk_gb=rng.choice((2.0, 4.0)),
+                        cpus=rng.choice((1, 2)),
+                    ),
+                    rng.choice(OSES),
+                    rng.choice((None,) + VM_TYPES),
+                )
+                for _ in range(4)
+            ]
+            for hardware, os, vm_type in queries:
+                cases += assert_equivalent(wh, dag, hardware, os, vm_type)
+            # Interleaved publish/unpublish must stay equivalent: drop
+            # the current winner (if any), add a fresh image, recheck.
+            hardware, os, vm_type = queries[0]
+            winner, _ = wh.select(dag, hardware, os, vm_type)
+            if winner is not None:
+                wh.unpublish(winner.image_id)
+                cases += assert_equivalent(wh, dag, hardware, os, vm_type)
+            wh.publish(random_image(rng, dag, 900 + round_no))
+            for hardware, os, vm_type in queries[:2]:
+                cases += assert_equivalent(wh, dag, hardware, os, vm_type)
+        assert cases >= 200, f"only {cases} randomized cases exercised"
+
+    def test_deep_prefix_wins_and_id_breaks_ties(self):
+        dag = ConfigDAG.from_sequence(action(i) for i in range(4))
+        hw = HardwareSpec(memory_mb=32)
+        deep = [action(0), action(1), action(2)]
+        shallow = [action(0)]
+        wh = VMWarehouse(
+            [
+                GoldenImage("b-deep", "vmware", "rh8", hw,
+                            performed=tuple(deep)),
+                GoldenImage("a-deep", "vmware", "rh8", hw,
+                            performed=tuple(deep)),
+                GoldenImage("a-shallow", "vmware", "rh8", hw,
+                            performed=tuple(shallow)),
+            ]
+        )
+        image, result = wh.select(dag, hw, "rh8", "vmware")
+        assert image.image_id == "a-deep"  # depth first, then id
+        assert result.residual == ("a3",)
+        assert_equivalent(wh, dag, hw, "rh8", "vmware")
+
+    def test_memo_invalidated_by_generation(self):
+        dag = ConfigDAG.from_sequence([action(0), action(1)])
+        hw = HardwareSpec(memory_mb=32)
+        wh = VMWarehouse(
+            [GoldenImage("img-a", "vmware", "rh8", hw,
+                         performed=(action(0),))]
+        )
+        first, _ = wh.select(dag, hw, "rh8", "vmware")
+        assert first.image_id == "img-a"
+        gen = wh.generation
+        wh.publish(
+            GoldenImage("img-0", "vmware", "rh8", hw,
+                        performed=(action(0), action(1)))
+        )
+        assert wh.generation == gen + 1
+        better, result = wh.select(dag, hw, "rh8", "vmware")
+        assert better.image_id == "img-0"
+        assert result.residual == ()
+        wh.unpublish("img-0")
+        back, _ = wh.select(dag, hw, "rh8", "vmware")
+        assert back.image_id == "img-a"
+
+    def test_memo_shared_across_plants_counts_hits(self):
+        dag = ConfigDAG.from_sequence([action(0)])
+        hw = HardwareSpec(memory_mb=32)
+        wh = VMWarehouse(
+            [GoldenImage("img-a", "vmware", "rh8", hw,
+                         performed=(action(0),))]
+        )
+        for _ in range(5):  # five plants bidding on one request
+            wh.select(dag, hw, "rh8", "vmware")
+        assert wh.match_stats["queries"] == 5
+        assert wh.match_stats["memo_hits"] == 4
+        assert wh.index_stats["queries"] == 1
+
+
+class TestMatchIndexMaintenance:
+    def test_add_remove_prunes_groups(self):
+        index = MatchIndex()
+        hw = HardwareSpec(memory_mb=32)
+        img = GoldenImage("x", "vmware", "rh8", hw,
+                          performed=(action(0),))
+        index.add(img)
+        assert len(index) == 1
+        index.remove("x")
+        assert len(index) == 0
+        assert index._buckets == {}
+        assert index._locator == {}
+
+    def test_bucket_rejection_never_touches_dag(self):
+        index = MatchIndex()
+        hw = HardwareSpec(memory_mb=32)
+        index.add(
+            GoldenImage("x", "vmware", "windows", hw,
+                        performed=(action(0),))
+        )
+        dag = ConfigDAG.from_sequence([action(0)])
+        image, result = index.select(dag, hw, "rh8", "vmware")
+        assert image is None and result is None
+        assert index.stats["profiles_tested"] == 0
+        assert index.stats["images_skipped_by_bucket"] == 1
+
+
+class TestDagCacheInvalidation:
+    def test_mutation_refreshes_structural_caches(self):
+        dag = ConfigDAG.from_sequence([action(0), action(1)])
+        assert dag.action_name_set() == {"a0", "a1"}
+        fp = dag.fingerprint()
+        assert dag.is_prefix_set(["a0"])
+        dag.add_action(action(2)).add_edge("a1", "a2")
+        assert dag.action_name_set() == {"a0", "a1", "a2"}
+        assert dag.fingerprint() != fp
+        assert dag.topological_sort() == ["a0", "a1", "a2"]
+        assert dag.ancestor_masks()["a2"] == 0b011
+
+    def test_handler_mutation_invalidates_structure(self):
+        dag = ConfigDAG.from_sequence([action(0)])
+        handler = ConfigDAG.from_sequence([Action("fix", command="f")])
+        dag.attach_handler("a0", handler)
+        before = dag.structure()
+        fp = dag.fingerprint()
+        handler.add_action(Action("fix2", command="g"))
+        assert dag.structure() != before
+        assert dag.fingerprint() != fp
+
+    def test_residual_and_validate_use_cached_topo(self):
+        dag = ConfigDAG.from_sequence(action(i) for i in range(5))
+        assert dag.residual_after(["a0", "a1"]) == ["a2", "a3", "a4"]
+        with pytest.raises(DAGError):
+            dag.residual_after(["a1"])

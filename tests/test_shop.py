@@ -208,6 +208,41 @@ class TestBidding:
             "b", "c", "a",
         ]
 
+    def test_rank_matches_reference_orderings_seed_2004(self):
+        """The single-pass rank is pinned to the naive reference.
+
+        The grouped implementation must consume the ``bid-tie`` stream
+        exactly like the former repeated select+remove loop, so both
+        collectors (same seed) must produce identical orderings on a
+        seed-2004 suite of random tie-heavy bid sets.
+        """
+        import random as _random
+
+        env = Environment()
+        grouped = BidCollector(env, Transport(env), RngHub(2004))
+        reference = BidCollector(env, Transport(env), RngHub(2004))
+
+        def reference_rank(collector, bids):
+            remaining = list(bids)
+            ordered = []
+            while remaining:
+                chosen = collector.select(remaining)
+                ordered.append(chosen)
+                remaining.remove(chosen)
+            return ordered
+
+        gen = _random.Random(2004)
+        for _ in range(100):
+            bids = [
+                Bid(f"p{i}", float(gen.choice((1, 2, 3))), object())
+                for i in range(gen.randrange(1, 12))
+            ]
+            assert [
+                b.bidder_name for b in grouped.rank(bids)
+            ] == [
+                b.bidder_name for b in reference_rank(reference, bids)
+            ]
+
 
 class TestVMShop:
     def test_create_query_destroy_cycle(self):
@@ -277,6 +312,28 @@ class TestVMShop:
         cached = drive(env, shop.query(vmid, use_cache=True))
         assert shop.transport.calls == calls_before  # served locally
         assert cached["vmid"] == vmid
+
+    def test_query_accepts_generator_attributes(self):
+        """A generator projection must not poison the classad cache.
+
+        ``tuple(attributes)`` used to be evaluated twice; a generator
+        argument was exhausted by the first call, so the post-call
+        cache fill saw an empty projection and stored the *projected*
+        ad as the VM's full classad.
+        """
+        env = Environment()
+        shop, plants = make_site(env)
+        ad = drive(env, shop.create(make_request()))
+        vmid = str(ad["vmid"])
+        shop._cache.clear()
+        projected = drive(
+            env,
+            shop.query(vmid, (n for n in ("vmid", "status"))),
+        )
+        assert dict(projected.items()).keys() == {"vmid", "status"}
+        # The projection must not have been cached as the full ad.
+        cached = drive(env, shop.query(vmid, use_cache=True))
+        assert "plant" in cached
 
     def test_recover_rebuilds_routing(self):
         env = Environment()

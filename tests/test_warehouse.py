@@ -129,3 +129,27 @@ class TestVMWarehouse:
     def test_load_xml_strictness(self):
         with pytest.raises(ProtocolError):
             VMWarehouse.load_xml("<not-a-warehouse/>")
+
+    def test_to_element_builder_matches_string_api(self):
+        import xml.etree.ElementTree as ET
+
+        image = golden_image(64)
+        element = image.to_element()
+        assert element.tag == "golden-image"
+        assert image.to_xml() == ET.tostring(element, encoding="unicode")
+        assert GoldenImage.from_xml(
+            ET.tostring(element, encoding="unicode")
+        ) == image
+
+    def test_dump_xml_appends_elements_without_reparsing(self, monkeypatch):
+        import xml.etree.ElementTree as ET
+
+        wh = VMWarehouse([golden_image(32), golden_image(64)])
+
+        def boom(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("dump_xml must not re-parse strings")
+
+        monkeypatch.setattr(ET, "fromstring", boom)
+        text = wh.dump_xml()
+        monkeypatch.undo()
+        assert len(VMWarehouse.load_xml(text)) == 2

@@ -13,8 +13,10 @@ trajectory so regressions are visible across commits:
 
 Each invocation appends one record to
 ``benchmarks/results/BENCH_parallel_runner.json``, then runs the
-matching-throughput sweep (``benchmarks.perf.matching_bench``) which
-appends its own record to ``benchmarks/results/BENCH_matching.json``.
+matching-throughput sweep (``benchmarks.perf.matching_bench``) and
+the provisioning loadtest (``benchmarks.perf.provision_bench``),
+which append their own records to ``BENCH_matching.json`` and
+``BENCH_provisioning.json``.
 
 Run::
 
@@ -34,6 +36,7 @@ from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 from benchmarks.perf.matching_bench import run_matching_bench
+from benchmarks.perf.provision_bench import run_provision_bench
 from repro.experiments.cache import ResultCache
 from repro.experiments.runner import PAPER_RUNS, run_creation_suite
 from repro.sim.cluster import build_testbed
@@ -116,6 +119,7 @@ def run_harness(
     out: Optional[Path] = None,
     kernel_count: Optional[int] = None,
     matching: bool = True,
+    provisioning: bool = True,
 ) -> dict:
     """Run all measurements; append the record to the trajectory file."""
     runs = SMALL_RUNS if small else PAPER_RUNS
@@ -151,6 +155,8 @@ def run_harness(
         # Separate trajectory file: the matching sweep has its own
         # regression check in CI (see test_perf_smoke.py).
         record["matching"] = run_matching_bench(small=small)
+    if provisioning:
+        record["provisioning"] = run_provision_bench(small=small)
     return record
 
 

@@ -45,6 +45,7 @@ from repro.plant import (
     VMWarehouse,
     VirtualMachine,
 )
+from repro.provisioning import FULL_PROVISIONING, ProvisioningConfig
 from repro.shop import ServiceRegistry, Transport, VMBroker, VMShop
 from repro.sim.cluster import Testbed, build_testbed, run_process
 from repro.workloads import (
@@ -76,6 +77,8 @@ __all__ = [
     "NetworkComputeCost",
     "NetworkSpec",
     "ProductionLine",
+    "FULL_PROVISIONING",
+    "ProvisioningConfig",
     "QueryRequest",
     "ServiceRegistry",
     "SoftwareSpec",

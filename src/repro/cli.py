@@ -16,6 +16,7 @@ Subcommands map one-to-one to the experiment drivers::
     vmplants matching
     vmplants resilience
     vmplants replicas
+    vmplants loadtest [--requests N] [--rates R ...]
     vmplants all                  # everything, in order
 """
 
@@ -116,6 +117,17 @@ def _replicas(args) -> str:
     return run_warehouse_replicas(seed=args.seed).render()
 
 
+def _loadtest(args) -> str:
+    from repro.experiments.loadtest import run_loadtest
+
+    return run_loadtest(
+        seed=args.seed,
+        requests=args.requests,
+        rates=tuple(args.rates),
+        cache_mb=args.cache_mb,
+    ).render()
+
+
 def _demo(args) -> str:
     from repro import build_testbed, experiment_request
 
@@ -199,6 +211,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     matching.add_argument("--seed", type=int, default=2004)
     matching.set_defaults(runner=_matching)
+
+    # Not part of ``all``: a deliberately heavy open-loop sweep of
+    # the provisioning-throughput stack (see DESIGN.md).
+    loadtest = sub.add_parser(
+        "loadtest",
+        help=(
+            "Poisson-arrival throughput sweep: baseline vs host "
+            "caches vs coalescing vs speculative pools"
+        ),
+    )
+    loadtest.add_argument("--seed", type=int, default=2004)
+    loadtest.add_argument("--requests", type=int, default=64)
+    loadtest.add_argument(
+        "--rates",
+        type=float,
+        nargs="+",
+        default=[0.05, 0.2, 1.2],
+        help="arrival rates to sweep (requests per simulated second)",
+    )
+    loadtest.add_argument(
+        "--cache-mb",
+        type=float,
+        default=512.0,
+        help="per-host golden-state cache budget",
+    )
+    loadtest.set_defaults(runner=_loadtest)
 
     everything = sub.add_parser("all", help="regenerate every artifact")
     everything.add_argument("--seed", type=int, default=2004)

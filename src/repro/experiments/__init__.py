@@ -17,6 +17,11 @@ from repro.experiments.cache import (
     default_cache,
     source_digest,
 )
+from repro.experiments.loadtest import (
+    LoadPoint,
+    LoadTestResult,
+    run_loadtest,
+)
 from repro.experiments.parallel import (
     Job,
     parallel_map,
@@ -42,4 +47,7 @@ __all__ = [
     "ResultCache",
     "default_cache",
     "source_digest",
+    "LoadPoint",
+    "LoadTestResult",
+    "run_loadtest",
 ]

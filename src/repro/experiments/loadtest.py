@@ -1,0 +1,269 @@
+"""Load-driven provisioning-throughput experiment.
+
+The paper measures creation latency one request at a time; a grid
+portal in production sees an *arrival stream*.  This experiment
+drives the simulated site open-loop — Poisson arrivals at a swept
+rate, every request timed individually, finished VMs collected after
+a hold period — and compares provisioning feature stacks:
+
+* ``baseline`` — the paper's site, every clone pays the NFS path;
+* ``cache`` — host-side golden-state LRU caches;
+* ``cache+coalesce`` — plus in-flight transfer coalescing;
+* ``cache+coalesce+pool`` — plus adaptive speculative pools.
+
+Arrival times come from one named RNG stream, so every variant faces
+bit-identical demand; only the provisioning machinery differs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import ReproError
+from repro.provisioning import ProvisioningConfig
+from repro.sim.cluster import build_testbed
+from repro.workloads.requests import poisson_arrivals, request_stream
+
+__all__ = [
+    "VARIANTS",
+    "LoadPoint",
+    "LoadTestResult",
+    "run_loadtest",
+]
+
+
+def _variant_configs(cache_mb: float) -> Dict[str, ProvisioningConfig]:
+    return {
+        "baseline": ProvisioningConfig(),
+        "cache": ProvisioningConfig(host_cache_mb=cache_mb),
+        "cache+coalesce": ProvisioningConfig(
+            host_cache_mb=cache_mb, coalesce_transfers=True
+        ),
+        "cache+coalesce+pool": ProvisioningConfig(
+            host_cache_mb=cache_mb,
+            coalesce_transfers=True,
+            speculative_pools=True,
+        ),
+    }
+
+
+#: Feature stacks compared, in ablation order.
+VARIANTS: Tuple[str, ...] = tuple(_variant_configs(512.0))
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    """One (variant, arrival rate) measurement."""
+
+    variant: str
+    rate_per_s: float
+    requests: int
+    ok: int
+    failed: int
+    p50_s: float
+    p95_s: float
+    mean_s: float
+    makespan_s: float
+    creates_per_s: float
+    nfs_mb: float
+    cache_hits: int
+    coalesced: int
+    pool_hits: int
+    #: SHA-256 over the per-request latencies (determinism checks).
+    fingerprint: str
+
+    def as_dict(self) -> dict:
+        return {
+            "variant": self.variant,
+            "rate_per_s": self.rate_per_s,
+            "requests": self.requests,
+            "ok": self.ok,
+            "failed": self.failed,
+            "p50_s": self.p50_s,
+            "p95_s": self.p95_s,
+            "mean_s": self.mean_s,
+            "makespan_s": self.makespan_s,
+            "creates_per_s": self.creates_per_s,
+            "nfs_mb": self.nfs_mb,
+            "cache_hits": self.cache_hits,
+            "coalesced": self.coalesced,
+            "pool_hits": self.pool_hits,
+            "fingerprint": self.fingerprint,
+        }
+
+
+@dataclass
+class LoadTestResult:
+    """Full sweep: variant → points in increasing arrival rate."""
+
+    seed: int
+    memory_mb: int
+    requests: int
+    rates: Tuple[float, ...]
+    cache_mb: float
+    n_plants: int = 8
+    points: Dict[str, List[LoadPoint]] = field(default_factory=dict)
+
+    def point(self, variant: str, rate: float) -> LoadPoint:
+        """The measurement for one (variant, rate) combination."""
+        for p in self.points[variant]:
+            if p.rate_per_s == rate:
+                return p
+        raise KeyError(f"no point for {variant!r} at rate {rate}")
+
+    def speedup_at(self, rate: float) -> float:
+        """Sustained-throughput ratio, full stack over baseline."""
+        base = self.point("baseline", rate)
+        full = self.point("cache+coalesce+pool", rate)
+        return full.creates_per_s / base.creates_per_s
+
+    def p95_improvement_at(self, rate: float) -> float:
+        """p95 creation-latency ratio, baseline over full stack."""
+        base = self.point("baseline", rate)
+        full = self.point("cache+coalesce+pool", rate)
+        return base.p95_s / full.p95_s
+
+    def render(self) -> str:
+        top = max(self.rates)
+        lines = [
+            "Extension: provisioning throughput under load "
+            f"({self.requests} x {self.memory_mb} MB VMs, "
+            f"{self.n_plants} plants, "
+            f"Poisson arrivals, cache {self.cache_mb:.0f} MB/host)",
+            "",
+            f"{'variant':<20} {'rate/s':>7} {'ok':>4} {'p50 (s)':>8} "
+            f"{'p95 (s)':>8} {'creates/s':>10} {'NFS MB':>8} "
+            f"{'hits':>5} {'coal':>5} {'pool':>5}",
+            "-" * 88,
+        ]
+        for variant, pts in self.points.items():
+            for p in pts:
+                lines.append(
+                    f"{variant:<20} {p.rate_per_s:>7.2f} {p.ok:>4d} "
+                    f"{p.p50_s:>8.1f} {p.p95_s:>8.1f} "
+                    f"{p.creates_per_s:>10.3f} {p.nfs_mb:>8.0f} "
+                    f"{p.cache_hits:>5d} {p.coalesced:>5d} "
+                    f"{p.pool_hits:>5d}"
+                )
+        lines.append("-" * 88)
+        lines.append(
+            f"at {top:.2f} req/s the full stack sustains "
+            f"{self.speedup_at(top):.1f}x the baseline creates/sec at "
+            f"{self.p95_improvement_at(top):.1f}x lower p95 latency"
+        )
+        return "\n".join(lines)
+
+
+def _fingerprint(latencies: Sequence[float]) -> str:
+    payload = ",".join(f"{v:.9f}" for v in latencies)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def _run_point(
+    variant: str,
+    config: ProvisioningConfig,
+    seed: int,
+    memory_mb: int,
+    requests: int,
+    rate: float,
+    hold_s: float,
+    n_plants: int,
+) -> LoadPoint:
+    bed = build_testbed(seed=seed, n_plants=n_plants, provisioning=config)
+    stream = request_stream(memory_mb, requests)
+    # One shared stream name: every variant sees identical arrivals.
+    times = poisson_arrivals(
+        bed.rng, rate, requests, stream=f"loadtest/{rate}"
+    )
+    latencies: List[float] = []
+    failures = [0]
+
+    def one(at: float, request) -> Generator:
+        yield bed.env.timeout(at)
+        start = bed.env.now
+        try:
+            ad = yield from bed.shop.create(request)
+        except ReproError:
+            failures[0] += 1
+            return
+        latencies.append(bed.env.now - start)
+        yield bed.env.timeout(hold_s)
+        yield from bed.shop.destroy(str(ad["vmid"]))
+
+    def client() -> Generator:
+        procs = [
+            bed.env.process(one(at, request))
+            for at, request in zip(times, stream)
+        ]
+        yield bed.env.all_of(procs)
+
+    start = bed.env.now
+    bed.run(client())
+    makespan = bed.env.now - start
+    sample = np.asarray(latencies, dtype=float)
+    ok = int(sample.size)
+    return LoadPoint(
+        variant=variant,
+        rate_per_s=rate,
+        requests=requests,
+        ok=ok,
+        failed=failures[0],
+        p50_s=float(np.percentile(sample, 50)) if ok else float("nan"),
+        p95_s=float(np.percentile(sample, 95)) if ok else float("nan"),
+        mean_s=float(sample.mean()) if ok else float("nan"),
+        makespan_s=makespan,
+        creates_per_s=ok / makespan if makespan > 0 else 0.0,
+        nfs_mb=float(bed.nfs.mb_served),
+        cache_hits=sum(
+            h.state_cache.hits for h in bed.hosts if h.state_cache
+        ),
+        coalesced=bed.nfs.coalescer.requests_coalesced,
+        pool_hits=sum(p.hits for p in bed.pools),
+        fingerprint=_fingerprint(latencies),
+    )
+
+
+def run_loadtest(
+    seed: int = 2004,
+    memory_mb: int = 64,
+    requests: int = 64,
+    rates: Sequence[float] = (0.05, 0.2, 1.2),
+    cache_mb: float = 512.0,
+    hold_s: float = 90.0,
+    n_plants: int = 8,
+    variants: Sequence[str] = VARIANTS,
+) -> LoadTestResult:
+    """Sweep arrival rates across provisioning feature stacks."""
+    if requests <= 0:
+        raise ValueError("requests must be positive")
+    configs = _variant_configs(cache_mb)
+    unknown = set(variants) - set(configs)
+    if unknown:
+        raise ValueError(f"unknown variants: {sorted(unknown)}")
+    result = LoadTestResult(
+        seed=seed,
+        memory_mb=memory_mb,
+        requests=requests,
+        rates=tuple(rates),
+        cache_mb=cache_mb,
+        n_plants=n_plants,
+    )
+    for variant in variants:
+        result.points[variant] = [
+            _run_point(
+                variant,
+                configs[variant],
+                seed,
+                memory_mb,
+                requests,
+                rate,
+                hold_s,
+                n_plants,
+            )
+            for rate in rates
+        ]
+    return result

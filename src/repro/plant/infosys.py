@@ -50,6 +50,15 @@ class VMInformationSystem:
         except KeyError:
             raise PlantError(f"no active VM {vmid!r}") from None
 
+    def rename(self, old: str, new: str) -> VirtualMachine:
+        """Re-register a VM under a new vmid (pooled-VM adoption)."""
+        if new in self._vms:
+            raise PlantError(f"vmid {new!r} already registered")
+        vm = self.remove(old)
+        vm.vmid = new
+        self._vms[new] = vm
+        return vm
+
     def active(self) -> List[VirtualMachine]:
         """All active VMs, in registration order."""
         return list(self._vms.values())

@@ -16,15 +16,17 @@ creates normally.
 
 from __future__ import annotations
 
-from typing import Generator, List
+import math
+from collections import deque
+from typing import Deque, Dict, Generator, List, Optional, Set, Tuple
 
 from repro.core.classad import ClassAd
 from repro.core.dag import ConfigDAG
-from repro.core.errors import PlantError
+from repro.core.errors import PlantError, ReproError
 from repro.core.spec import CreateRequest, SoftwareSpec
 from repro.plant.vmplant import VMPlant
 
-__all__ = ["SpeculativeClonePool"]
+__all__ = ["SpeculativeClonePool", "AdaptiveSpeculativePool"]
 
 
 class SpeculativeClonePool:
@@ -103,30 +105,42 @@ class SpeculativeClonePool:
             and request.vm_type == proto.vm_type
         )
 
-    def acquire(self, request: CreateRequest) -> Generator:
+    def acquire(
+        self, request: CreateRequest, vmid: Optional[str] = None
+    ) -> Generator:
         """Serve ``request`` from the pool; returns a classad or None.
 
         On a hit the pooled clone is extended with the request's
         residual configuration — the client-visible latency is just
-        that configuration time.  On a miss (empty pool or
-        incompatible request) the caller should fall back to a normal
-        ``create``.
+        that configuration time.  With ``vmid`` given (the shop
+        assigns ids) the pooled clone is first *adopted* under that
+        id, so the client sees an ordinary machine.  On a miss (empty
+        pool or incompatible request) the caller should fall back to a
+        normal ``create``.
         """
         if not self._pool or not self._compatible(request):
             self.misses += 1
             return None
-        vmid = self._pool.pop(0)
+        pooled = self._pool.pop(0)
+        serving = pooled
+        if vmid is not None:
+            self.plant.rename_vm(pooled, vmid)
+            serving = vmid
         try:
             ad: ClassAd = yield from self.plant.extend(
-                vmid, request.dag, {"client": request.client_id}
+                serving, request.dag, {"client": request.client_id}
             )
         except PlantError:
             # Extension mismatch: the clone stays usable for others.
-            self._pool.insert(0, vmid)
+            if vmid is not None:
+                self.plant.rename_vm(vmid, pooled)
+            self._pool.insert(0, pooled)
             self.misses += 1
             return None
+        self.plant.infosys.update(serving, {"client": request.client_id})
         self.hits += 1
         ad["speculative"] = True
+        ad["client"] = request.client_id
         return ad
 
     def drain(self) -> Generator:
@@ -137,3 +151,201 @@ class SpeculativeClonePool:
             yield from self.plant.destroy(vmid)
             drained += 1
         return drained
+
+
+#: Pool identity: one pool per (domain, OS, hardware, vm_type).
+PoolKey = Tuple[str, str, object, Optional[str]]
+
+
+class AdaptiveSpeculativePool:
+    """Demand-sized speculative pools for one plant.
+
+    Lazily opens a :class:`SpeculativeClonePool` per (domain, OS,
+    hardware, vm_type) combination it sees traffic for, remembers the
+    last ``window`` arrival times per pool, and resizes each pool
+    toward ``target_hit_rate`` of the arrivals expected within one
+    clone ``lead_time_s``.  Refills run as background processes so
+    pre-creation stays off the request critical path; the plant quotes
+    ``bid_discount`` × its normal cost while a pooled VM can serve the
+    request (an extend is far cheaper than a full clone).
+    """
+
+    def __init__(
+        self,
+        plant: VMPlant,
+        target_hit_rate: float = 0.9,
+        min_target: int = 0,
+        max_target: int = 4,
+        window: int = 8,
+        lead_time_s: float = 45.0,
+        bid_discount: float = 0.25,
+    ):
+        if not 0.0 < target_hit_rate <= 1.0:
+            raise ValueError("target_hit_rate must be in (0, 1]")
+        if min_target < 0 or max_target < min_target:
+            raise ValueError("need 0 <= min_target <= max_target")
+        if window < 2:
+            raise ValueError("window must be at least 2")
+        if lead_time_s <= 0:
+            raise ValueError("lead_time_s must be positive")
+        if not 0.0 < bid_discount <= 1.0:
+            raise ValueError("bid_discount must be in (0, 1]")
+        self.plant = plant
+        self.env = plant.env
+        self.target_hit_rate = target_hit_rate
+        self.min_target = min_target
+        self.max_target = max_target
+        self.window = window
+        self.lead_time_s = lead_time_s
+        self.bid_discount = bid_discount
+        self._pools: Dict[PoolKey, SpeculativeClonePool] = {}
+        self._arrivals: Dict[PoolKey, Deque[float]] = {}
+        #: Keys whose pool is unusable (no matching golden image).
+        self._dead: Set[PoolKey] = set()
+        self._refilling: Set[PoolKey] = set()
+        self.hits = 0
+        self.misses = 0
+        self.refills_started = 0
+
+    @staticmethod
+    def _key(request: CreateRequest) -> PoolKey:
+        return (
+            request.network.domain,
+            request.software.os,
+            request.hardware,
+            request.vm_type,
+        )
+
+    @staticmethod
+    def _is_fill_request(request: CreateRequest) -> bool:
+        return request.client_id.endswith("-speculative")
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of tracked requests served from a pool."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @property
+    def pool_count(self) -> int:
+        return len(self._pools)
+
+    @property
+    def pooled_vms(self) -> int:
+        """Idle clones across all pools."""
+        return sum(p.size for p in self._pools.values())
+
+    # -- sizing --------------------------------------------------------------
+    def _observe(self, key: PoolKey) -> None:
+        arrivals = self._arrivals.get(key)
+        if arrivals is None:
+            arrivals = deque(maxlen=self.window)
+            self._arrivals[key] = arrivals
+        arrivals.append(self.env.now)
+
+    def _desired_target(self, key: PoolKey) -> int:
+        """Pool depth to cover ``lead_time_s`` of observed demand."""
+        arrivals = self._arrivals.get(key)
+        if not arrivals:
+            return self.min_target
+        if len(arrivals) < 2:
+            want = 1
+        else:
+            span = arrivals[-1] - arrivals[0]
+            if span <= 0.0:
+                want = self.max_target
+            else:
+                rate = (len(arrivals) - 1) / span
+                want = math.ceil(
+                    rate * self.lead_time_s * self.target_hit_rate
+                )
+        return max(self.min_target, min(self.max_target, want))
+
+    # -- pool plumbing -------------------------------------------------------
+    def _pool_for(self, request: CreateRequest) -> Optional[SpeculativeClonePool]:
+        key = self._key(request)
+        if key in self._dead:
+            return None
+        pool = self._pools.get(key)
+        if pool is None:
+            try:
+                pool = SpeculativeClonePool(
+                    self.plant,
+                    request,
+                    target=0,
+                    vmid_prefix=f"spec{len(self._pools)}",
+                )
+            except PlantError:
+                # No golden image matches: never poolable.
+                self._dead.add(key)
+                return None
+            self._pools[key] = pool
+        return pool
+
+    def _schedule_refill(self, key: PoolKey, pool: SpeculativeClonePool) -> None:
+        pool.target = self._desired_target(key)
+        if pool.size >= pool.target or key in self._refilling:
+            return
+        self._refilling.add(key)
+        self.refills_started += 1
+        self.env.process(self._refill(key, pool))
+
+    def _refill(self, key: PoolKey, pool: SpeculativeClonePool) -> Generator:
+        try:
+            yield from pool.fill()
+        except ReproError:
+            pass  # plant at capacity / network exhausted: retry later
+        finally:
+            self._refilling.discard(key)
+
+    # -- request path --------------------------------------------------------
+    def available(self, request: CreateRequest) -> bool:
+        """Could ``request`` be served from an idle pooled clone now?"""
+        if self._is_fill_request(request):
+            return False
+        pool = self._pools.get(self._key(request))
+        return (
+            pool is not None
+            and pool.size > 0
+            and pool._compatible(request)
+        )
+
+    def acquire(
+        self, request: CreateRequest, vmid: Optional[str] = None
+    ) -> Generator:
+        """Serve from a pool if possible; returns a classad or None.
+
+        Always observes the arrival and (re)sizes the matching pool,
+        so misses teach the manager to pre-create for next time.
+        """
+        if self._is_fill_request(request):
+            return None  # a pool's own fill traffic is not demand
+        key = self._key(request)
+        self._observe(key)
+        pool = self._pool_for(request)
+        if pool is None:
+            self.misses += 1
+            return None
+        ad = yield from pool.acquire(request, vmid)
+        if ad is not None:
+            self.hits += 1
+        else:
+            self.misses += 1
+        self._schedule_refill(key, pool)
+        return ad
+
+    def drain(self) -> Generator:
+        """Collect every idle pooled clone (shutdown path)."""
+        drained = 0
+        for pool in self._pools.values():
+            pool.target = 0
+            count = yield from pool.drain()
+            drained += count
+        return drained
+
+    def __repr__(self) -> str:
+        return (
+            f"<AdaptiveSpeculativePool {self.plant.name}"
+            f" pools={len(self._pools)} idle={self.pooled_vms}"
+            f" hit_rate={self.hit_rate:.2f}>"
+        )

@@ -33,6 +33,7 @@ from repro.plant.production import (
 )
 from repro.plant.warehouse import VMWarehouse
 from repro.sim.kernel import Environment
+from repro.sim.trace import trace
 from repro.vnet.hostonly import HostOnlyNetworkPool
 from repro.vnet.vnetd import VirtualNetworkService, VNetProxy, VNetServer
 
@@ -67,6 +68,9 @@ class VMPlant(PlantView):
         self.vnet_service = vnet_service
         self.default_clone_mode = default_clone_mode
         self.infosys = VMInformationSystem()
+        #: Optional AdaptiveSpeculativePool serving creates from
+        #: pre-warmed clones (duck-typed to avoid a circular import).
+        self.speculative = None
         #: Cordoned plants decline all new bids (maintenance mode);
         #: existing VMs keep running and can be drained away.
         self.cordoned = False
@@ -148,7 +152,16 @@ class VMPlant(PlantView):
             )
         except PlantError:
             return None
-        return self.cost_model.estimate(self, request)
+        cost = self.cost_model.estimate(self, request)
+        if (
+            cost is not None
+            and self.speculative is not None
+            and self.speculative.available(request)
+        ):
+            # A pooled clone serves this request by extension alone —
+            # quote the cheaper path so the shop prefers warm plants.
+            cost *= self.speculative.bid_discount
+        return cost
 
     def create(
         self,
@@ -160,8 +173,22 @@ class VMPlant(PlantView):
 
         The paper's creation pipeline: admission → host-only network
         attach → (optional) VNET bridge setup → PPP clone+configure.
-        Failures unwind the network state before re-raising.
+        Failures unwind the network state before re-raising.  With a
+        speculative pool attached, a compatible pre-warmed clone is
+        adopted and extended instead — it already holds network and
+        memory resources, so the capacity check is skipped.
         """
+        if self.speculative is not None:
+            ad = yield from self.speculative.acquire(request, vmid)
+            if ad is not None:
+                trace(
+                    self.env,
+                    "plant",
+                    "pool-hit",
+                    plant=self.name,
+                    vmid=vmid,
+                )
+                return ad
         if self.max_vms is not None and len(self.infosys) >= self.max_vms:
             raise PlantError(f"plant {self.name}: at VM capacity")
         domain = request.network.domain
@@ -208,6 +235,21 @@ class VMPlant(PlantView):
         ad["ip"] = assignment.ip_address
         ad["network_fresh"] = assignment.fresh_allocation
         return ad.copy()
+
+    def attach_speculative(self, manager) -> None:
+        """Attach an adaptive speculative-pool manager to this plant."""
+        self.speculative = manager
+
+    def rename_vm(self, old: str, new: str) -> VirtualMachine:
+        """Re-register a live VM under a new vmid (pool adoption)."""
+        vm = self.infosys.rename(old, new)
+        vm.classad["vmid"] = new
+        self.network_pool.rename(old, new)
+        if old in self._vm_domain:
+            self._vm_domain[new] = self._vm_domain.pop(old)
+        if old in self._vm_bridged:
+            self._vm_bridged[new] = self._vm_bridged.pop(old)
+        return vm
 
     def query(self, vmid: str, attributes: Iterable[str] = ()) -> ClassAd:
         """Classad (or projection) of an active VM."""

@@ -17,11 +17,12 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.cost.models import CostModel, MemoryAvailableCost
 from repro.plant.vmplant import VMPlant
+from repro.provisioning import ProvisioningConfig
 from repro.plant.warehouse import GoldenImage, VMWarehouse
 from repro.shop.protocol import Transport
 from repro.shop.registry import ServiceRegistry
 from repro.shop.vmshop import VMShop
-from repro.sim.host import PhysicalHost
+from repro.sim.host import HostStateCache, PhysicalHost
 from repro.sim.hypervisor import CloneRecord, UMLLine, VMwareLine
 from repro.sim.kernel import Environment
 from repro.sim.latency import DEFAULT_LATENCY, LatencyModel
@@ -58,6 +59,12 @@ class Testbed:
     #: Gigabit inter-node network (used by VM migration).
     internode: FairShareLink = None
     lines: Dict[str, List[object]] = field(default_factory=dict)
+    #: Provisioning-throughput switches this site was built with.
+    provisioning: ProvisioningConfig = field(
+        default_factory=ProvisioningConfig
+    )
+    #: Per-plant adaptive speculative pool managers (when enabled).
+    pools: List[object] = field(default_factory=list)
 
     def run(self, generator) -> object:
         """Drive one process generator to completion on this env."""
@@ -98,15 +105,20 @@ def build_testbed(
     extra_images: Sequence[GoldenImage] = (),
     retry_other_plants: bool = False,
     nfs_replicas: int = 1,
+    provisioning: Optional[ProvisioningConfig] = None,
 ) -> Testbed:
     """Assemble the simulated site.
 
     The default arguments reproduce the paper's setup; experiments
     override ``clone_failure_prob`` (per-run), ``vm_types`` (the UML
     study) and the cost model (Section 3.4 illustration).
+    ``provisioning`` switches on the throughput layer (host-side
+    golden-state caches, transfer coalescing, speculative pools);
+    omitted or defaulted it changes nothing.
     """
     if n_plants <= 0:
         raise ValueError("n_plants must be positive")
+    prov = provisioning or ProvisioningConfig()
     env = Environment()
     rng = RngHub(seed)
     registry = ServiceRegistry()
@@ -148,9 +160,18 @@ def build_testbed(
     hosts: List[PhysicalHost] = []
     plants: List[VMPlant] = []
     lines_by_type: Dict[str, List[object]] = {vt: [] for vt in vm_types}
+    pools: List[object] = []
     for i in range(n_plants):
         host = PhysicalHost(
-            env, f"node{i}", memory_mb=host_memory_mb, latency=latency
+            env,
+            f"node{i}",
+            memory_mb=host_memory_mb,
+            latency=latency,
+            state_cache=(
+                HostStateCache(prov.host_cache_mb)
+                if prov.host_cache_mb > 0
+                else None
+            ),
         )
         hosts.append(host)
         lines = {}
@@ -164,6 +185,7 @@ def build_testbed(
                 latency=latency,
                 clone_failure_prob=clone_failure_prob,
                 action_failure_prob=action_failure_prob,
+                coalesce_transfers=prov.coalesce_transfers,
             )
             lines[vm_type] = line
             lines_by_type[vm_type].append(line)
@@ -182,6 +204,20 @@ def build_testbed(
         )
         plants.append(plant)
         shop.register_plant(plant)
+        if prov.speculative_pools:
+            from repro.plant.speculative import AdaptiveSpeculativePool
+
+            manager = AdaptiveSpeculativePool(
+                plant,
+                target_hit_rate=prov.pool_target_hit_rate,
+                min_target=prov.pool_min_target,
+                max_target=prov.pool_max_target,
+                window=prov.pool_window,
+                lead_time_s=prov.pool_lead_time_s,
+                bid_discount=prov.pool_bid_discount,
+            )
+            plant.attach_speculative(manager)
+            pools.append(manager)
 
     return Testbed(
         env=env,
@@ -196,4 +232,6 @@ def build_testbed(
         vnet=vnet,
         internode=internode,
         lines=lines_by_type,
+        provisioning=prov,
+        pools=pools,
     )

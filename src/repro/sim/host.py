@@ -15,13 +15,88 @@ behaviour:
 
 from __future__ import annotations
 
-from typing import Generator
+from collections import OrderedDict
+from typing import Generator, Optional
 
 from repro.core.errors import PlantError
 from repro.sim.kernel import Environment
 from repro.sim.latency import DEFAULT_LATENCY, LatencyModel
 
-__all__ = ["PhysicalHost"]
+__all__ = ["HostStateCache", "PhysicalHost"]
+
+
+class HostStateCache:
+    """LRU cache of golden per-clone state on a host's local disk.
+
+    Models the paper's warm-NFS-cache effect (Section 5): once a
+    golden machine's configuration file, base redo log and suspended
+    memory state have been pulled to a node, repeat clones of that
+    image replicate them from the local disk instead of re-crossing
+    the shared NFS link.  The cache is bounded by ``capacity_mb`` and
+    evicts least-recently-cloned images first.
+    """
+
+    __slots__ = (
+        "capacity_mb",
+        "used_mb",
+        "_entries",
+        "hits",
+        "misses",
+        "evictions",
+    )
+
+    def __init__(self, capacity_mb: float):
+        if capacity_mb <= 0:
+            raise ValueError("capacity_mb must be positive")
+        self.capacity_mb = capacity_mb
+        self.used_mb = 0.0
+        #: image_id → cached state size (MB), LRU-ordered (MRU last).
+        self._entries: "OrderedDict[str, float]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, image_id: str) -> bool:
+        return image_id in self._entries
+
+    def lookup(self, image_id: str) -> bool:
+        """Is the image's clone state cached?  Counts and touches."""
+        if image_id in self._entries:
+            self._entries.move_to_end(image_id)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, image_id: str, size_mb: float) -> bool:
+        """Admit (or refresh) an image; evicts LRU entries to fit.
+
+        Returns False when the state is larger than the whole budget
+        (it is not admitted — full-disk COPY payloads usually are).
+        """
+        if size_mb < 0:
+            raise ValueError("size_mb must be non-negative")
+        if size_mb > self.capacity_mb:
+            return False
+        previous = self._entries.pop(image_id, None)
+        if previous is not None:
+            self.used_mb -= previous
+        while self.used_mb + size_mb > self.capacity_mb and self._entries:
+            _, evicted_mb = self._entries.popitem(last=False)
+            self.used_mb -= evicted_mb
+            self.evictions += 1
+        self._entries[image_id] = size_mb
+        self.used_mb += size_mb
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"<HostStateCache {self.used_mb:.0f}/{self.capacity_mb:.0f}MB"
+            f" entries={len(self._entries)} hits={self.hits}>"
+        )
 
 
 class PhysicalHost:
@@ -34,6 +109,7 @@ class PhysicalHost:
         memory_mb: float = 1536.0,
         cpus: int = 2,
         latency: LatencyModel = DEFAULT_LATENCY,
+        state_cache: Optional[HostStateCache] = None,
     ):
         if memory_mb <= 0:
             raise ValueError("memory_mb must be positive")
@@ -44,6 +120,10 @@ class PhysicalHost:
         self.memory_mb = memory_mb
         self.cpus = cpus
         self.latency = latency
+        #: Optional LRU golden-state cache shared by this host's
+        #: production lines (None = paper behaviour, every clone pays
+        #: the warehouse transfer).
+        self.state_cache = state_cache
         #: Guest memory of admitted VMs (MB), excluding overheads.
         self.committed_guest_mb = 0.0
         self.vm_count = 0

@@ -47,7 +47,7 @@ from repro.sim.trace import trace
 __all__ = ["CloneRecord", "SimBackend", "VMwareLine", "UMLLine"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CloneRecord:
     """Per-clone timing breakdown harvested by the experiments."""
 
@@ -63,9 +63,14 @@ class CloneRecord:
     pressure: float
     #: VMs already on the host when this clone started.
     host_vms_before: int
+    #: Where the per-clone state came from: ``"nfs"`` (warehouse
+    #: transfer), ``"coalesced"`` (shared an in-flight transfer),
+    #: ``"host-cache"`` (warm host LRU cache) or ``"line-cache"``
+    #: (the legacy per-line replica ablation).
+    copy_source: str = "nfs"
 
 
-@dataclass
+@dataclass(slots=True)
 class SimBackend:
     """Line-private state of a simulated VM instance."""
 
@@ -92,6 +97,7 @@ class _SimLine(ProductionLine):
         action_failure_prob: float = 0.0,
         admission_overcommit: float = 2.0,
         local_state_cache: bool = False,
+        coalesce_transfers: bool = False,
     ):
         if not 0.0 <= clone_failure_prob < 1.0:
             raise ValueError("clone_failure_prob must be in [0, 1)")
@@ -109,6 +115,8 @@ class _SimLine(ProductionLine):
         #: state after the first clone (an optimization the paper's
         #: NFS-per-clone design invites; off for paper reproduction).
         self.local_state_cache = local_state_cache
+        #: Share in-flight warehouse transfers per (host, image)?
+        self.coalesce_transfers = coalesce_transfers
         self._cached_images: set = set()
         self.clone_records: List[CloneRecord] = []
 
@@ -140,13 +148,22 @@ class _SimLine(ProductionLine):
     def _copy_clone_state(
         self, image: GoldenImage, mode: CloneMode
     ) -> Generator:
-        """Replicate per-clone state from the warehouse; returns seconds."""
+        """Replicate per-clone state from the warehouse.
+
+        Returns ``(seconds, source)`` where ``source`` records which
+        path served the bytes (see :class:`CloneRecord.copy_source`).
+        LINK-mode state can come from the legacy per-line replica, the
+        host's LRU golden-state cache, or a coalesced in-flight
+        transfer; the default configuration always takes the plain
+        warehouse transfer, exactly as the paper measures.
+        """
         start = self.env.now
         payload = image.clone_payload_mb
         files = 3 if image.memory_state_mb > 0 else 2
         if mode is CloneMode.COPY:
             payload += image.disk_state_mb
             files += image.disk_files
+        cache = self.host.state_cache if mode is CloneMode.LINK else None
         if (
             self.local_state_cache
             and mode is CloneMode.LINK
@@ -156,13 +173,29 @@ class _SimLine(ProductionLine):
             # the local disk, no NFS traffic.
             yield from self.host.disk_read(payload)
             yield from self.host.disk_write(payload)
+            return self.env.now - start, "line-cache"
+        if cache is not None and cache.lookup(image.image_id):
+            # Warm host cache: the state is already on the local disk.
+            yield from self.host.disk_read(payload)
+            yield from self.host.disk_write(payload)
+            return self.env.now - start, "host-cache"
+        if self.coalesce_transfers:
+            source = yield from self.nfs.copy_to_host_coalesced(
+                (self.host.name, image.image_id, mode.value),
+                payload,
+                self.host,
+                files=files,
+            )
         else:
             yield from self.nfs.copy_to_host(
                 payload, self.host, files=files
             )
-            self._cached_images.add(image.image_id)
+            source = "nfs"
+        self._cached_images.add(image.image_id)
+        if cache is not None:
+            cache.insert(image.image_id, payload)
         # Soft-link creation for the shared base disk is effectively free.
-        return self.env.now - start
+        return self.env.now - start, source
 
     def _maybe_fail_clone(self, vm: VirtualMachine) -> None:
         draw = self.rng.uniform(
@@ -301,7 +334,9 @@ class VMwareLine(_SimLine):
         before = self.host.vm_count
         self.host.admit_vm(vm.memory_mb)
 
-        copy_time = yield from self._copy_clone_state(image, mode)
+        copy_time, copy_source = yield from self._copy_clone_state(
+            image, mode
+        )
 
         lat = self.latency
         yield self.env.timeout(
@@ -337,6 +372,7 @@ class VMwareLine(_SimLine):
                 total_time=self.env.now - started,
                 pressure=pressure,
                 host_vms_before=before,
+                copy_source=copy_source,
             )
         )
         trace(
@@ -359,7 +395,9 @@ class UMLLine(_SimLine):
         before = self.host.vm_count
         self.host.admit_vm(vm.memory_mb)
 
-        copy_time = yield from self._copy_clone_state(image, mode)
+        copy_time, copy_source = yield from self._copy_clone_state(
+            image, mode
+        )
         lat = self.latency
         yield self.env.timeout(
             lat.uml_cow_setup_s * self._jitter("cow-setup")
@@ -400,5 +438,6 @@ class UMLLine(_SimLine):
                 total_time=self.env.now - started,
                 pressure=pressure,
                 host_vms_before=before,
+                copy_source=copy_source,
             )
         )

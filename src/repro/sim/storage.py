@@ -9,15 +9,85 @@ files too.  Transfers from all eight plants share the link fairly.
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Dict, Generator, Hashable, Optional
 
 from repro.sim.host import PhysicalHost
-from repro.sim.kernel import Environment
+from repro.sim.kernel import Environment, Event
 from repro.sim.latency import DEFAULT_LATENCY, LatencyModel
 from repro.sim.network import FairShareLink
 from repro.sim.rng import RngHub
 
-__all__ = ["NFSServer", "ReplicatedWarehouseStorage"]
+__all__ = [
+    "TransferCoalescer",
+    "NFSServer",
+    "ReplicatedWarehouseStorage",
+]
+
+
+class _InflightTransfer:
+    __slots__ = ("done", "followers")
+
+    def __init__(self, done: Event):
+        self.done = done
+        self.followers = 0
+
+
+class TransferCoalescer:
+    """Shares in-flight warehouse→host copies among same-key callers.
+
+    Ten concurrent clones of one image onto one host need the bytes on
+    that host exactly once: the first caller (the *leader*) runs the
+    real :meth:`copy_to_host`; everyone else arriving before it
+    completes waits on the same completion event and then pays only a
+    local read+write to materialize a private replica from the data
+    the leader just landed — one flow on the shared link instead of N
+    contending ones.
+    """
+
+    __slots__ = ("env", "_inflight", "requests_coalesced", "mb_saved")
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._inflight: Dict[Hashable, _InflightTransfer] = {}
+        self.requests_coalesced = 0
+        self.mb_saved = 0.0
+
+    @property
+    def inflight(self) -> int:
+        """Distinct transfers currently being led."""
+        return len(self._inflight)
+
+    def copy(
+        self,
+        storage,
+        key: Hashable,
+        size_mb: float,
+        host: PhysicalHost,
+        files: int = 1,
+        pressured: bool = True,
+    ) -> Generator:
+        """Coalesced copy; returns ``"nfs"`` (led) or ``"coalesced"``."""
+        entry = self._inflight.get(key)
+        if entry is not None:
+            entry.followers += 1
+            self.requests_coalesced += 1
+            self.mb_saved += size_mb
+            yield entry.done
+            # The leader's bytes are on this host's disk already:
+            # replicate them locally, off the shared link.
+            yield from host.disk_read(size_mb)
+            yield from host.disk_write(size_mb)
+            return "coalesced"
+        entry = _InflightTransfer(self.env.event())
+        self._inflight[key] = entry
+        try:
+            yield from storage.copy_to_host(
+                size_mb, host, files=files, pressured=pressured
+            )
+        finally:
+            del self._inflight[key]
+            entry.done.succeed()
+        return "nfs"
 
 
 class NFSServer:
@@ -40,6 +110,7 @@ class NFSServer:
         )
         self.requests_served = 0
         self.mb_served = 0.0
+        self.coalescer = TransferCoalescer(env)
 
     def _overhead(self) -> float:
         base = self.latency.nfs_request_overhead_s
@@ -82,6 +153,20 @@ class NFSServer:
         if write_time > network_time:
             yield self.env.timeout(write_time - network_time)
 
+    def copy_to_host_coalesced(
+        self,
+        key: Hashable,
+        size_mb: float,
+        host: PhysicalHost,
+        files: int = 1,
+        pressured: bool = True,
+    ) -> Generator:
+        """Copy with in-flight sharing per ``key`` (host, image)."""
+        result = yield from self.coalescer.copy(
+            self, key, size_mb, host, files=files, pressured=pressured
+        )
+        return result
+
     def __repr__(self) -> str:
         return (
             f"<NFSServer {self.name} served={self.requests_served}req/"
@@ -107,9 +192,13 @@ class ReplicatedWarehouseStorage:
         if not replicas:
             raise ValueError("at least one replica is required")
         self.replicas = list(replicas)
+        self.env = self.replicas[0].env
         # In-flight request count per replica: link.active_flows alone
         # misses requests still in their per-file overhead phase.
         self._inflight = {id(r): 0 for r in self.replicas}
+        # Replica-set-wide coalescing: the leader still load-balances
+        # across replicas, followers never hit any uplink.
+        self.coalescer = TransferCoalescer(self.env)
 
     def _pick(self) -> NFSServer:
         return min(
@@ -152,6 +241,20 @@ class ReplicatedWarehouseStorage:
             )
         finally:
             self._inflight[id(replica)] -= 1
+
+    def copy_to_host_coalesced(
+        self,
+        key: Hashable,
+        size_mb: float,
+        host: PhysicalHost,
+        files: int = 1,
+        pressured: bool = True,
+    ) -> Generator:
+        """Copy with in-flight sharing per ``key`` (host, image)."""
+        result = yield from self.coalescer.copy(
+            self, key, size_mb, host, files=files, pressured=pressured
+        )
+        return result
 
     def __repr__(self) -> str:
         return f"<ReplicatedWarehouseStorage x{len(self.replicas)}>"

@@ -19,15 +19,16 @@ custom analyses beyond the canned experiments::
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Deque, Dict, Iterator, List, Optional
 
 from repro.sim.kernel import Environment
 
 __all__ = ["TraceEvent", "Tracer", "trace"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One recorded event."""
 
@@ -46,14 +47,26 @@ class TraceEvent:
 
 
 class Tracer:
-    """Append-only event log with simple filtering."""
+    """Append-only event log with simple filtering.
+
+    With ``capacity`` set the log is a fixed-size ring buffer: the
+    oldest events are dropped in O(1) once the buffer is full, so a
+    long load-test run can stay instrumented without growing memory
+    unboundedly.  The default (``capacity=None``) keeps every event —
+    the behaviour the seed experiments and golden trajectories pin.
+    """
 
     def __init__(self, capacity: Optional[int] = None):
         if capacity is not None and capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
-        self.events: List[TraceEvent] = []
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
         self.dropped = 0
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The retained events, oldest first (a fresh list)."""
+        return list(self._events)
 
     def record(
         self,
@@ -63,10 +76,10 @@ class Tracer:
         **data: Any,
     ) -> None:
         """Append an event (oldest dropped beyond capacity)."""
-        self.events.append(TraceEvent(time, category, message, dict(data)))
-        if self.capacity is not None and len(self.events) > self.capacity:
-            del self.events[0]
+        events = self._events
+        if events.maxlen is not None and len(events) == events.maxlen:
             self.dropped += 1
+        events.append(TraceEvent(time, category, message, dict(data)))
 
     def select(
         self,
@@ -77,20 +90,20 @@ class Tracer:
         """Events filtered by category and time window."""
         return [
             e
-            for e in self.events
+            for e in self._events
             if (category is None or e.category == category)
             and since <= e.time <= until
         ]
 
     def categories(self) -> List[str]:
         """Distinct categories seen, sorted."""
-        return sorted({e.category for e in self.events})
+        return sorted({e.category for e in self._events})
 
     def __len__(self) -> int:
-        return len(self.events)
+        return len(self._events)
 
     def __iter__(self) -> Iterator[TraceEvent]:
-        return iter(self.events)
+        return iter(self._events)
 
 
 def trace(

@@ -166,6 +166,19 @@ class HostOnlyNetworkPool:
             fresh_allocation=fresh,
         )
 
+    def rename(self, old_vmid: str, new_vmid: str) -> None:
+        """Rekey an attached VM (pooled-VM adoption keeps its IP)."""
+        if old_vmid not in self._vm_network:
+            raise VNetError(f"vm {old_vmid!r} not attached")
+        if new_vmid in self._vm_network:
+            raise VNetError(f"vm {new_vmid!r} already attached")
+        network_id = self._vm_network.pop(old_vmid)
+        self._vm_network[new_vmid] = network_id
+        self._vm_ip[new_vmid] = self._vm_ip.pop(old_vmid)
+        net = next(n for n in self.networks if n.network_id == network_id)
+        net.attached.discard(old_vmid)
+        net.attached.add(new_vmid)
+
     def detach(self, vmid: str) -> None:
         """Detach a collected VM, possibly freeing the switch."""
         network_id = self._vm_network.pop(vmid, None)

@@ -2,10 +2,12 @@
 
 import pytest
 
+from repro.core.dag import ConfigDAG
 from repro.core.errors import PlantError
+from repro.core.spec import CreateRequest, SoftwareSpec
 from repro.plant.speculative import SpeculativeClonePool
 from repro.sim.cluster import build_testbed
-from repro.workloads.requests import experiment_request
+from repro.workloads.requests import experiment_request, install_os_action
 
 from tests.helpers import drive
 
@@ -86,6 +88,71 @@ class TestAcquire:
         bed, plant, pool = make_rig(target=1)
         drive(bed.env, pool.fill())
         assert drive(bed.env, pool.acquire(experiment_request(64))) is None
+
+    def test_conflicting_residual_dag_misses_and_keeps_clone(self):
+        """A compatible request whose DAG conflicts with the pooled
+        clone's performed prefix falls back to a normal create; the
+        clone returns to the pool untouched."""
+        bed, plant, pool = make_rig(target=1)
+        drive(bed.env, pool.fill())
+        proto = pool.prototype
+        conflicting = CreateRequest(
+            hardware=proto.hardware,
+            software=SoftwareSpec(
+                os=proto.software.os,
+                # Same OS attribute, but the install action differs —
+                # the performed prefix no longer matches the DAG.
+                dag=ConfigDAG.from_sequence(
+                    [install_os_action("weird-os")]
+                ),
+            ),
+            network=proto.network,
+            client_id="picky-client",
+            vm_type=proto.vm_type,
+        )
+        assert drive(bed.env, pool.acquire(conflicting)) is None
+        assert pool.misses == 1
+        assert pool.size == 1  # clone kept for compatible requests
+
+    def test_acquire_adopts_requested_vmid(self):
+        bed, plant, pool = make_rig(target=1)
+        drive(bed.env, pool.fill())
+        pooled_vmid = plant.infosys.active()[0].vmid
+        ad = drive(
+            bed.env,
+            pool.acquire(experiment_request(32), vmid="shop-vm-7"),
+        )
+        assert str(ad["vmid"]) == "shop-vm-7"
+        vm = plant.infosys.get("shop-vm-7")
+        assert vm.vmid == "shop-vm-7"
+        assert pooled_vmid not in plant.infosys
+        # Network state moved with the rename.
+        drive(bed.env, plant.destroy("shop-vm-7"))
+
+    def test_failed_adoption_restores_pooled_vmid(self):
+        bed, plant, pool = make_rig(target=1)
+        drive(bed.env, pool.fill())
+        pooled_vmid = plant.infosys.active()[0].vmid
+        proto = pool.prototype
+        conflicting = CreateRequest(
+            hardware=proto.hardware,
+            software=SoftwareSpec(
+                os=proto.software.os,
+                dag=ConfigDAG.from_sequence(
+                    [install_os_action("weird-os")]
+                ),
+            ),
+            network=proto.network,
+            client_id="picky-client",
+            vm_type=proto.vm_type,
+        )
+        result = drive(
+            bed.env, pool.acquire(conflicting, vmid="shop-vm-8")
+        )
+        assert result is None
+        assert pooled_vmid in plant.infosys
+        assert "shop-vm-8" not in plant.infosys
+        assert pool.size == 1
 
 
 class TestDrain:

@@ -14,9 +14,10 @@ trajectory so regressions are visible across commits:
 Each invocation appends one record to
 ``benchmarks/results/BENCH_parallel_runner.json``, then runs the
 matching-throughput sweep (``benchmarks.perf.matching_bench``) and
-the provisioning loadtest (``benchmarks.perf.provision_bench``),
-which append their own records to ``BENCH_matching.json`` and
-``BENCH_provisioning.json``.
+the provisioning loadtest (``benchmarks.perf.provision_bench``), and
+the classad query-engine bench (``benchmarks.perf.classad_bench``),
+which append their own records to ``BENCH_matching.json``,
+``BENCH_provisioning.json``, and ``BENCH_classad.json``.
 
 Run::
 
@@ -35,6 +36,7 @@ import time
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
+from benchmarks.perf.classad_bench import run_classad_bench
 from benchmarks.perf.matching_bench import run_matching_bench
 from benchmarks.perf.provision_bench import run_provision_bench
 from repro.experiments.cache import ResultCache
@@ -120,6 +122,7 @@ def run_harness(
     kernel_count: Optional[int] = None,
     matching: bool = True,
     provisioning: bool = True,
+    classad: bool = True,
 ) -> dict:
     """Run all measurements; append the record to the trajectory file."""
     runs = SMALL_RUNS if small else PAPER_RUNS
@@ -157,6 +160,8 @@ def run_harness(
         record["matching"] = run_matching_bench(small=small)
     if provisioning:
         record["provisioning"] = run_provision_bench(small=small)
+    if classad:
+        record["classad"] = run_classad_bench(small=small)
     return record
 
 

@@ -28,16 +28,57 @@ Grammar (precedence low → high)::
     unary    := ('!'|'-')* atom
     atom     := literal | reference | '(' expr ')' | list
     reference:= IDENT ('.' IDENT)?
+
+Two evaluation engines share one grammar:
+
+* the **compiled engine** (default) — :class:`Expression` lowers its
+  AST once into nested Python closures with the operator dispatch,
+  scope selection and attribute-name lowering resolved at compile
+  time, constant subexpressions folded, and the evaluation environment
+  inlined into three positional arguments ``(ad, other, depth)`` so a
+  ``matches`` call allocates nothing on the fast path;
+* the **interpreter** — the original recursive ``_Node.eval`` tree
+  walk over a :class:`_Scope`, kept verbatim as the reference
+  implementation.  ``REPRO_CLASSAD_INTERP=1`` (or
+  :func:`use_interpreter`) routes all evaluation through it; the
+  differential suite in ``tests/test_classad_compiled.py`` pins the
+  two engines to bit-identical behaviour.
+
+``Expression(text)`` and :func:`evaluate` go through a bounded global
+intern cache (:data:`_EXPR_CACHE_MAX` entries, LRU), so repeated
+expression texts — the common case on the shop/broker bid path —
+parse and compile exactly once.
 """
 
 from __future__ import annotations
 
+import os
 import re
-from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+from collections import OrderedDict
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro.core.errors import ClassAdError
 
-__all__ = ["Undefined", "UNDEFINED", "ClassAd", "Expression", "evaluate"]
+__all__ = [
+    "Undefined",
+    "UNDEFINED",
+    "ClassAd",
+    "Expression",
+    "evaluate",
+    "equality_key",
+    "use_interpreter",
+    "parse_cache_info",
+    "clear_parse_cache",
+]
 
 
 class Undefined:
@@ -61,6 +102,21 @@ class Undefined:
 UNDEFINED = Undefined()
 
 Value = Union[bool, int, float, str, Undefined, List["Value"]]
+
+#: A compiled expression: ``(ad, other, depth) -> Value``.
+CompiledFn = Callable[[Optional["ClassAd"], Optional["ClassAd"], int], Value]
+
+#: Escape hatch: route all evaluation through the reference
+#: interpreter instead of the compiled closures.
+_INTERP = os.environ.get("REPRO_CLASSAD_INTERP", "").strip().lower() in (
+    "1", "true", "yes", "on",
+)
+
+
+def use_interpreter(enabled: bool) -> None:
+    """Switch engines at runtime (benchmarks and differential tests)."""
+    global _INTERP
+    _INTERP = bool(enabled)
 
 
 # ---------------------------------------------------------------------------
@@ -101,41 +157,169 @@ def _tokenize(text: str) -> List[Tuple[str, str]]:
 
 
 # ---------------------------------------------------------------------------
-# AST
+# AST (shared by both engines; ``eval`` is the reference interpreter,
+# ``compile`` lowers to closures)
 # ---------------------------------------------------------------------------
+
+#: Maximum nesting depth of attribute-valued expression references.
+_MAX_REF_DEPTH = 32
+_DEPTH_MSG = "expression recursion too deep"
 
 
 class _Node:
+    __slots__ = ()
+
     def eval(self, scope: "_Scope") -> Value:
         raise NotImplementedError
 
+    def compile(self) -> CompiledFn:
+        raise NotImplementedError
+
+    def is_const(self) -> bool:
+        return False
+
+
+def _compile_node(node: _Node) -> CompiledFn:
+    """Compile ``node``, folding closed constant subexpressions.
+
+    Folding evaluates the compiled closure once with empty scopes; a
+    :class:`ClassAdError` (e.g. ``1/0`` or ``5 && true``) keeps the
+    node dynamic so the error surfaces at evaluation time exactly as
+    the interpreter raises it.  List results are never folded — each
+    evaluation must return a fresh list.
+    """
+    fn = node.compile()
+    if node.is_const():
+        try:
+            value = fn(None, None, 0)
+        except ClassAdError:
+            return fn
+        if isinstance(value, list):
+            return fn
+        return lambda ad, other, depth: value
+    return fn
+
 
 class _Literal(_Node):
+    __slots__ = ("value",)
+
     def __init__(self, value: Value):
         self.value = value
 
     def eval(self, scope: "_Scope") -> Value:
         return self.value
 
+    def compile(self) -> CompiledFn:
+        value = self.value
+        return lambda ad, other, depth: value
+
+    def is_const(self) -> bool:
+        return True
+
 
 class _Ref(_Node):
+    __slots__ = ("scope_name", "attr", "attr_low", "kind")
+
     def __init__(self, scope_name: Optional[str], attr: str):
         self.scope_name = scope_name.lower() if scope_name else None
         self.attr = attr
+        self.attr_low = attr.lower()
+        if self.scope_name is None:
+            self.kind = "bare"
+        elif self.scope_name in ("my", "self"):
+            self.kind = "self"
+        elif self.scope_name in ("other", "target"):
+            self.kind = "other"
+        else:
+            self.kind = "unknown"
 
     def eval(self, scope: "_Scope") -> Value:
         return scope.lookup(self.scope_name, self.attr)
 
+    def compile(self) -> CompiledFn:  # noqa: C901
+        attr = self.attr_low
+        kind = self.kind
+
+        if kind == "unknown":
+            scope_name = self.scope_name
+
+            def unknown(ad, other, depth):
+                raise ClassAdError(f"unknown scope {scope_name!r}")
+
+            return unknown
+
+        if kind == "other":
+
+            def deref_other(ad, other, depth):
+                if depth > _MAX_REF_DEPTH:
+                    raise ClassAdError(_DEPTH_MSG)
+                if other is None:
+                    return UNDEFINED
+                raw = other._attrs.get(attr, UNDEFINED)
+                if isinstance(raw, Expression):
+                    # Attribute-valued expressions evaluate in their
+                    # own ad's scope, keeping the counterpart bound.
+                    return raw._fn(other, ad, depth + 1)
+                return raw
+
+            return deref_other
+
+        if kind == "self":
+
+            def deref_self(ad, other, depth):
+                if depth > _MAX_REF_DEPTH:
+                    raise ClassAdError(_DEPTH_MSG)
+                if ad is None:
+                    return UNDEFINED
+                raw = ad._attrs.get(attr, UNDEFINED)
+                if isinstance(raw, Expression):
+                    return raw._fn(ad, other, depth + 1)
+                return raw
+
+            return deref_self
+
+        def deref_bare(ad, other, depth):
+            if depth > _MAX_REF_DEPTH:
+                raise ClassAdError(_DEPTH_MSG)
+            if ad is None:
+                return UNDEFINED
+            raw = ad._attrs.get(attr, UNDEFINED)
+            if isinstance(raw, Expression):
+                return raw._fn(ad, other, depth + 1)
+            if raw is UNDEFINED and other is not None:
+                # Condor falls through to the target ad for bare names.
+                raw = other._attrs.get(attr, UNDEFINED)
+                if isinstance(raw, Expression):
+                    return raw._fn(other, ad, depth + 1)
+            return raw
+
+        return deref_bare
+
 
 class _ListNode(_Node):
+    __slots__ = ("items",)
+
     def __init__(self, items: List[_Node]):
         self.items = items
 
     def eval(self, scope: "_Scope") -> Value:
         return [item.eval(scope) for item in self.items]
 
+    def compile(self) -> CompiledFn:
+        fns = tuple(_compile_node(item) for item in self.items)
+        return lambda ad, other, depth: [
+            fn(ad, other, depth) for fn in fns
+        ]
+
+    def is_const(self) -> bool:
+        # Lists are mutable results: compile the elements but never
+        # collapse the node itself into a shared constant.
+        return False
+
 
 class _Unary(_Node):
+    __slots__ = ("op", "operand")
+
     def __init__(self, op: str, operand: _Node):
         self.op = op
         self.operand = operand
@@ -154,12 +338,110 @@ class _Unary(_Node):
             return -val
         raise ClassAdError(f"unknown unary {self.op}")  # pragma: no cover
 
+    def compile(self) -> CompiledFn:
+        sub = _compile_node(self.operand)
+        if self.op == "!":
+
+            def negate(ad, other, depth):
+                val = sub(ad, other, depth)
+                if val is True:
+                    return False
+                if val is False:
+                    return True
+                if val is UNDEFINED:
+                    return UNDEFINED
+                raise ClassAdError(f"! applied to non-boolean {val!r}")
+
+            return negate
+
+        def minus(ad, other, depth):
+            val = sub(ad, other, depth)
+            if val is UNDEFINED:
+                return UNDEFINED
+            if isinstance(val, bool) or not isinstance(val, (int, float)):
+                raise ClassAdError(f"- applied to non-number {val!r}")
+            return -val
+
+        return minus
+
+    def is_const(self) -> bool:
+        return self.operand.is_const()
+
 
 def _is_number(val: Value) -> bool:
     return isinstance(val, (int, float)) and not isinstance(val, bool)
 
 
+def _make_comparator(op: str) -> Callable[[Value, Value], Value]:
+    """Typed comparison with Condor semantics, operator pre-bound."""
+    py = {
+        "==": lambda a, b: a == b,
+        "!=": lambda a, b: a != b,
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+    }[op]
+    is_equality = op in ("==", "!=")
+
+    def compare(lhs: Value, rhs: Value) -> Value:
+        if _is_number(lhs) and _is_number(rhs):
+            return py(lhs, rhs)
+        if isinstance(lhs, str) and isinstance(rhs, str):
+            # Condor string comparison is case-insensitive.
+            return py(lhs.lower(), rhs.lower())
+        if isinstance(lhs, bool) and isinstance(rhs, bool):
+            if not is_equality:
+                raise ClassAdError("ordering applied to booleans")
+            return py(lhs, rhs)
+        if op == "==":
+            return False
+        if op == "!=":
+            return True
+        raise ClassAdError(f"cannot compare {lhs!r} with {rhs!r}")
+
+    return compare
+
+
+def _make_arithmetic(op: str) -> Callable[[Value, Value], Value]:
+    """Typed arithmetic with Condor semantics, operator pre-bound."""
+
+    def arith(lhs: Value, rhs: Value) -> Value:
+        if op == "+" and isinstance(lhs, str) and isinstance(rhs, str):
+            return lhs + rhs
+        if not (_is_number(lhs) and _is_number(rhs)):
+            raise ClassAdError(
+                f"arithmetic {op} on non-numbers {lhs!r}, {rhs!r}"
+            )
+        if op == "+":
+            return lhs + rhs
+        if op == "-":
+            return lhs - rhs
+        if op == "*":
+            return lhs * rhs
+        if op == "/":
+            if rhs == 0:
+                raise ClassAdError("division by zero")
+            result = lhs / rhs
+            if isinstance(lhs, int) and isinstance(rhs, int):
+                return int(lhs // rhs) if lhs % rhs == 0 else result
+            return result
+        if rhs == 0:
+            raise ClassAdError("modulo by zero")
+        return lhs % rhs
+
+    return arith
+
+
+_COMPARATORS = {
+    op: _make_comparator(op) for op in ("==", "!=", "<", "<=", ">", ">=")
+}
+_ARITHMETIC = {op: _make_arithmetic(op) for op in ("+", "-", "*", "/", "%")}
+
+
 class _Binary(_Node):
+    __slots__ = ("op", "left", "right")
+
     def __init__(self, op: str, left: _Node, right: _Node):
         self.op = op
         self.left = left
@@ -255,6 +537,79 @@ class _Binary(_Node):
                 return lhs % rhs
         raise ClassAdError(f"unknown operator {op}")  # pragma: no cover
 
+    def compile(self) -> CompiledFn:  # noqa: C901
+        op = self.op
+        lf = _compile_node(self.left)
+        rf = _compile_node(self.right)
+
+        if op == "&&":
+
+            def logical_and(ad, other, depth):
+                lhs = lf(ad, other, depth)
+                if lhs is False:
+                    return False
+                rhs = rf(ad, other, depth)
+                if rhs is False:
+                    return False
+                if lhs is UNDEFINED or rhs is UNDEFINED:
+                    return UNDEFINED
+                if lhs is True and rhs is True:
+                    return True
+                raise ClassAdError("&& applied to non-boolean")
+
+            return logical_and
+
+        if op == "||":
+
+            def logical_or(ad, other, depth):
+                lhs = lf(ad, other, depth)
+                if lhs is True:
+                    return True
+                rhs = rf(ad, other, depth)
+                if rhs is True:
+                    return True
+                if lhs is UNDEFINED or rhs is UNDEFINED:
+                    return UNDEFINED
+                if lhs is False and rhs is False:
+                    return False
+                raise ClassAdError("|| applied to non-boolean")
+
+            return logical_or
+
+        if op == "=?=":
+
+            def meta_eq(ad, other, depth):
+                lhs = lf(ad, other, depth)
+                rhs = rf(ad, other, depth)
+                return type(lhs) is type(rhs) and lhs == rhs
+
+            return meta_eq
+
+        if op == "=!=":
+
+            def meta_ne(ad, other, depth):
+                lhs = lf(ad, other, depth)
+                rhs = rf(ad, other, depth)
+                return not (type(lhs) is type(rhs) and lhs == rhs)
+
+            return meta_ne
+
+        typed = _COMPARATORS.get(op) or _ARITHMETIC.get(op)
+        if typed is None:  # pragma: no cover - parser emits known ops
+            raise ClassAdError(f"unknown operator {op}")
+
+        def binary(ad, other, depth):
+            lhs = lf(ad, other, depth)
+            rhs = rf(ad, other, depth)
+            if lhs is UNDEFINED or rhs is UNDEFINED:
+                return UNDEFINED
+            return typed(lhs, rhs)
+
+        return binary
+
+    def is_const(self) -> bool:
+        return self.left.is_const() and self.right.is_const()
+
 
 def _fn_size(value: Value) -> Value:
     if isinstance(value, (str, list)):
@@ -311,6 +666,8 @@ def _require_str(name: str, value: Value) -> str:
 
 
 class _Call(_Node):
+    __slots__ = ("name", "args")
+
     def __init__(self, name: str, args: List[_Node]):
         self.name = name.lower()
         self.args = args
@@ -328,8 +685,33 @@ class _Call(_Node):
                 f"{self.name}(): bad arity ({len(values)} args)"
             ) from exc
 
+    def compile(self) -> CompiledFn:
+        fns = tuple(_compile_node(arg) for arg in self.args)
+        func = _FUNCTIONS[self.name]
+        name = self.name
+
+        def call(ad, other, depth):
+            values = [fn(ad, other, depth) for fn in fns]
+            for value in values:
+                if value is UNDEFINED:
+                    return UNDEFINED
+            try:
+                return func(*values)
+            except TypeError as exc:
+                raise ClassAdError(
+                    f"{name}(): bad arity ({len(values)} args)"
+                ) from exc
+
+        return call
+
+    def is_const(self) -> bool:
+        # All built-ins are pure, so a call over constants is constant.
+        return all(arg.is_const() for arg in self.args)
+
 
 class _Ternary(_Node):
+    __slots__ = ("cond", "then", "orelse")
+
     def __init__(self, cond: _Node, then: _Node, orelse: _Node):
         self.cond = cond
         self.then = then
@@ -343,6 +725,30 @@ class _Ternary(_Node):
             raise ClassAdError("ternary condition must be boolean")
         return self.then.eval(scope) if cond else self.orelse.eval(scope)
 
+    def compile(self) -> CompiledFn:
+        cf = _compile_node(self.cond)
+        tf = _compile_node(self.then)
+        of = _compile_node(self.orelse)
+
+        def ternary(ad, other, depth):
+            cond = cf(ad, other, depth)
+            if cond is True:
+                return tf(ad, other, depth)
+            if cond is False:
+                return of(ad, other, depth)
+            if cond is UNDEFINED:
+                return UNDEFINED
+            raise ClassAdError("ternary condition must be boolean")
+
+        return ternary
+
+    def is_const(self) -> bool:
+        return (
+            self.cond.is_const()
+            and self.then.is_const()
+            and self.orelse.is_const()
+        )
+
 
 # ---------------------------------------------------------------------------
 # Parser
@@ -350,6 +756,8 @@ class _Ternary(_Node):
 
 
 class _Parser:
+    __slots__ = ("tokens", "pos")
+
     def __init__(self, tokens: List[Tuple[str, str]]):
         self.tokens = tokens
         self.pos = 0
@@ -493,17 +901,93 @@ def _fold_constant(node: _Node) -> _Node:
     return node
 
 
-class Expression:
-    """A parsed, reusable classad expression."""
+def equality_key(value: Any) -> Optional[tuple]:
+    """Normalized hash key under classad ``==`` semantics, or None.
 
-    def __init__(self, text: str):
+    Two scalar values satisfy ``a == b`` exactly when their keys are
+    equal: strings compare case-insensitively, booleans only against
+    booleans, and numbers cross int/float (``("n", 1)`` and
+    ``("n", 1.0)`` are equal dict keys).  Lists, UNDEFINED and
+    :class:`Expression` values are not equality-indexable and map to
+    None.
+    """
+    if isinstance(value, bool):
+        return ("b", value)
+    if isinstance(value, (int, float)):
+        return ("n", value)
+    if isinstance(value, str):
+        return ("s", value.lower())
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Expression: parse/intern cache + engine switch
+# ---------------------------------------------------------------------------
+
+#: Upper bound on the global expression intern cache (LRU).
+_EXPR_CACHE_MAX = 4096
+_EXPR_CACHE: "OrderedDict[str, Expression]" = OrderedDict()
+_cache_hits = 0
+_cache_misses = 0
+
+
+def parse_cache_info() -> Dict[str, int]:
+    """Intern-cache statistics (size, bound, hits, misses)."""
+    return {
+        "size": len(_EXPR_CACHE),
+        "max": _EXPR_CACHE_MAX,
+        "hits": _cache_hits,
+        "misses": _cache_misses,
+    }
+
+
+def clear_parse_cache() -> None:
+    """Drop every interned expression (tests and benchmarks)."""
+    _EXPR_CACHE.clear()
+
+
+class Expression:
+    """A parsed, compiled, interned, reusable classad expression.
+
+    Construction is amortized O(1) for repeated texts: instances are
+    interned in a bounded LRU cache keyed by the exact source text, so
+    ``Expression(text) is Expression(text)`` while the cache holds the
+    entry.  Each instance carries both the AST (the reference
+    interpreter) and the compiled closure chain (the default engine).
+    """
+
+    __slots__ = ("text", "_ast", "_fn", "_constraints")
+
+    def __new__(cls, text: str) -> "Expression":
+        global _cache_hits, _cache_misses
+        if cls is Expression:
+            cached = _EXPR_CACHE.get(text)
+            if cached is not None:
+                _cache_hits += 1
+                _EXPR_CACHE.move_to_end(text)
+                return cached
+            _cache_misses += 1
+        self = super().__new__(cls)
         self.text = text
         parser = _Parser(_tokenize(text))
-        self._ast = parser.parse_expr()
+        ast = parser.parse_expr()
         if parser.peek()[0] != "eof":
             raise ClassAdError(
                 f"trailing input after expression: {parser.peek()[1]!r}"
             )
+        self._ast = ast
+        self._fn = _compile_node(ast)
+        self._constraints = None
+        if cls is Expression:
+            _EXPR_CACHE[text] = self
+            if len(_EXPR_CACHE) > _EXPR_CACHE_MAX:
+                _EXPR_CACHE.popitem(last=False)
+        return self
+
+    def __init__(self, text: str):
+        # All construction happens in __new__ so interned cache hits
+        # skip re-parsing entirely.
+        pass
 
     def evaluate(
         self,
@@ -511,23 +995,96 @@ class Expression:
         other: Optional["ClassAd"] = None,
     ) -> Value:
         """Evaluate against ``ad`` (``self``/``my``) and ``other``."""
+        if _INTERP:
+            return self._ast.eval(_Scope(ad, other))
+        return self._fn(ad, other, 0)
+
+    def evaluate_compiled(
+        self,
+        ad: Optional["ClassAd"] = None,
+        other: Optional["ClassAd"] = None,
+    ) -> Value:
+        """Force the compiled engine (differential tests/benchmarks)."""
+        return self._fn(ad, other, 0)
+
+    def evaluate_interpreted(
+        self,
+        ad: Optional["ClassAd"] = None,
+        other: Optional["ClassAd"] = None,
+    ) -> Value:
+        """Force the reference interpreter (differential tests)."""
         return self._ast.eval(_Scope(ad, other))
+
+    def equality_constraints(self) -> Tuple[Tuple[str, str, tuple], ...]:
+        """Top-level equality conjuncts, for index pre-filtering.
+
+        Walks ``&&`` conjunctions from the root and extracts every
+        ``<ref> == <scalar literal>`` (either side) as
+        ``(attribute_lower, scope_kind, equality_key)`` with
+        ``scope_kind`` one of ``"bare"``, ``"self"``, ``"other"``.
+        A consumer may prune a candidate ``other`` ad when a
+        constraint's attribute holds a non-Expression value whose
+        :func:`equality_key` differs — that conjunct then evaluates to
+        False or UNDEFINED, so the whole conjunction cannot be True.
+        """
+        cached = self._constraints
+        if cached is None:
+            out: List[Tuple[str, str, tuple]] = []
+            stack: List[_Node] = [self._ast]
+            while stack:
+                node = stack.pop()
+                if isinstance(node, _Binary):
+                    if node.op == "&&":
+                        stack.append(node.left)
+                        stack.append(node.right)
+                    elif node.op == "==":
+                        for ref, lit in (
+                            (node.left, node.right),
+                            (node.right, node.left),
+                        ):
+                            if isinstance(ref, _Ref) and isinstance(
+                                lit, _Literal
+                            ):
+                                key = equality_key(lit.value)
+                                if key is not None and ref.kind != "unknown":
+                                    out.append((ref.attr_low, ref.kind, key))
+            cached = tuple(out)
+            self._constraints = cached
+        return cached
+
+    def __reduce__(self):
+        # Closures don't pickle; re-intern from the source text.
+        return (Expression, (self.text,))
 
     def __repr__(self) -> str:
         return f"Expression({self.text!r})"
 
 
 class _Scope:
-    """Name-resolution context: the owning ad plus the matched ad."""
+    """Name-resolution context: the owning ad plus the matched ad.
 
-    def __init__(self, ad: Optional["ClassAd"], other: Optional["ClassAd"]):
+    ``_depth`` counts the nesting of attribute-valued expression
+    references and is threaded into the child scope each hop, so a
+    reference chain deeper than :data:`_MAX_REF_DEPTH` raises
+    :class:`ClassAdError` — the same bound the compiled closures
+    enforce through their ``depth`` argument.
+    """
+
+    __slots__ = ("ad", "other", "_depth")
+
+    def __init__(
+        self,
+        ad: Optional["ClassAd"],
+        other: Optional["ClassAd"],
+        depth: int = 0,
+    ):
         self.ad = ad
         self.other = other
-        self._depth = 0
+        self._depth = depth
 
     def lookup(self, scope_name: Optional[str], attr: str) -> Value:
-        if self._depth > 32:
-            raise ClassAdError("expression recursion too deep")
+        if self._depth > _MAX_REF_DEPTH:
+            raise ClassAdError(_DEPTH_MSG)
         if scope_name in ("other", "target"):
             source = self.other
         elif scope_name in ("my", "self") or scope_name is None:
@@ -538,24 +1095,22 @@ class _Scope:
             return UNDEFINED
         raw = source.lookup(attr)
         if isinstance(raw, Expression):
-            self._depth += 1
-            try:
-                # Attribute-valued expressions evaluate in their own
-                # ad's scope, keeping ``other`` bound.
-                return raw._ast.eval(
-                    _Scope(source, self.other if source is self.ad else self.ad)
+            # Attribute-valued expressions evaluate in their own
+            # ad's scope, keeping ``other`` bound.
+            return raw._ast.eval(
+                _Scope(
+                    source,
+                    self.other if source is self.ad else self.ad,
+                    self._depth + 1,
                 )
-            finally:
-                self._depth -= 1
+            )
         if scope_name is None and raw is UNDEFINED and self.other is not None:
             # Condor falls through to the target ad for bare names.
             raw2 = self.other.lookup(attr)
             if isinstance(raw2, Expression):
-                self._depth += 1
-                try:
-                    return raw2._ast.eval(_Scope(self.other, self.ad))
-                finally:
-                    self._depth -= 1
+                return raw2._ast.eval(
+                    _Scope(self.other, self.ad, self._depth + 1)
+                )
             return raw2
         return raw
 
@@ -565,7 +1120,7 @@ def evaluate(
     ad: Optional["ClassAd"] = None,
     other: Optional["ClassAd"] = None,
 ) -> Value:
-    """Parse and evaluate ``text`` in one call."""
+    """Evaluate ``text`` in one call (parse/compile interned)."""
     return Expression(text).evaluate(ad, other)
 
 
@@ -576,6 +1131,8 @@ class ClassAd:
     via :meth:`set_expression` are parsed and evaluated on access
     through :meth:`eval`.
     """
+
+    __slots__ = ("_attrs", "_names")
 
     def __init__(self, attrs: Optional[Dict[str, Any]] = None):
         self._attrs: Dict[str, Value] = {}
@@ -590,7 +1147,7 @@ class ClassAd:
         elif isinstance(value, (bool, int, float, str, Undefined)):
             pass
         elif isinstance(value, (list, tuple)):
-            value = [self._check_scalar(v) for v in value]
+            value = [self._check_element(v) for v in value]
         else:
             raise ClassAdError(
                 f"unsupported classad value type {type(value).__name__}"
@@ -600,8 +1157,12 @@ class ClassAd:
         self._attrs[low] = value
 
     @staticmethod
-    def _check_scalar(value: Any) -> Value:
-        if isinstance(value, (bool, int, float, str, Undefined)):
+    def _check_element(value: Any) -> Value:
+        # Lists accept the same element types scalars do, including
+        # nested unevaluated expressions.
+        if isinstance(
+            value, (bool, int, float, str, Undefined, Expression)
+        ):
             return value
         raise ClassAdError(
             f"unsupported list element type {type(value).__name__}"
@@ -668,13 +1229,14 @@ class ClassAd:
         A missing requirements attribute accepts everything; an
         UNDEFINED result rejects (Condor semantics).
         """
-        raw = self.lookup("requirements")
+        raw = self._attrs.get("requirements", UNDEFINED)
         if isinstance(raw, Undefined):
             return True
         if not isinstance(raw, Expression):
             return bool(raw is True)
-        result = raw.evaluate(self, other)
-        return result is True
+        if _INTERP:
+            return raw._ast.eval(_Scope(self, other)) is True
+        return raw._fn(self, other, 0) is True
 
     def symmetric_match(self, other: "ClassAd") -> bool:
         """Bilateral match: both ads' requirements accept each other."""
@@ -720,6 +1282,12 @@ class ClassAd:
             if parser.peek()[1] == ";":
                 parser.next()
         return ad
+
+    def __getstate__(self):
+        return (self._attrs, self._names)
+
+    def __setstate__(self, state):
+        self._attrs, self._names = state
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ClassAd):

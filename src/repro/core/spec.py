@@ -111,7 +111,16 @@ class CreateRequest:
         return self.software.dag
 
     def to_classad(self) -> ClassAd:
-        """The request as a matchmaking classad."""
+        """The request as a matchmaking classad.
+
+        Memoized: the dataclass is frozen, so the ad is built once and
+        shared across every plant this request is bid against.
+        Callers must treat it as read-only (``copy()`` to mutate);
+        ``dataclasses.replace`` yields a new request with a fresh memo.
+        """
+        memo = getattr(self, "_classad_memo", None)
+        if memo is not None:
+            return memo
         ad = self.hardware.to_classad()
         ad["client"] = self.client_id
         ad["domain"] = self.network.domain
@@ -120,6 +129,7 @@ class CreateRequest:
             ad["vm_type"] = self.vm_type
         if self.requirements is not None:
             ad.set_expression("requirements", self.requirements)
+        object.__setattr__(self, "_classad_memo", ad)
         return ad
 
 

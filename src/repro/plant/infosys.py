@@ -19,10 +19,17 @@ __all__ = ["VMInformationSystem"]
 
 
 class VMInformationSystem:
-    """Plant-local registry of active VM instances."""
+    """Plant-local registry of active VM instances.
+
+    ``version`` increments on every mutation (store/remove/rename/
+    update), letting consumers — the plant's ``description_ad`` memo —
+    cheaply detect staleness without hashing the VM set.
+    """
 
     def __init__(self) -> None:
         self._vms: Dict[str, VirtualMachine] = {}
+        #: Monotonic mutation counter (memo invalidation).
+        self.version = 0
 
     def __len__(self) -> int:
         return len(self._vms)
@@ -35,6 +42,7 @@ class VMInformationSystem:
         if vm.vmid in self._vms:
             raise PlantError(f"vmid {vm.vmid!r} already registered")
         self._vms[vm.vmid] = vm
+        self.version += 1
 
     def get(self, vmid: str) -> VirtualMachine:
         """Look up an active VM."""
@@ -46,9 +54,11 @@ class VMInformationSystem:
     def remove(self, vmid: str) -> VirtualMachine:
         """Deregister a collected VM."""
         try:
-            return self._vms.pop(vmid)
+            vm = self._vms.pop(vmid)
         except KeyError:
             raise PlantError(f"no active VM {vmid!r}") from None
+        self.version += 1
+        return vm
 
     def rename(self, old: str, new: str) -> VirtualMachine:
         """Re-register a VM under a new vmid (pooled-VM adoption)."""
@@ -57,6 +67,7 @@ class VMInformationSystem:
         vm = self.remove(old)
         vm.vmid = new
         self._vms[new] = vm
+        self.version += 1
         return vm
 
     def active(self) -> List[VirtualMachine]:
@@ -68,6 +79,7 @@ class VMInformationSystem:
         vm = self.get(vmid)
         for key, value in attrs.items():
             vm.classad[key] = value
+        self.version += 1
 
     def query(
         self, vmid: str, attributes: Iterable[str] = ()

@@ -73,6 +73,9 @@ class ProductionProcessPlanner:
         self.warehouse = warehouse
         self.infosys = infosys
         self.lines = dict(lines)
+        # Lines are fixed at construction; pre-sort the untyped-request
+        # candidate order once instead of per plan() call.
+        self._sorted_vm_types = sorted(self.lines)
 
     # -- planning ---------------------------------------------------------
     def plan(
@@ -92,7 +95,7 @@ class ProductionProcessPlanner:
         vm_types = (
             [request.vm_type]
             if request.vm_type is not None
-            else sorted(self.lines)
+            else self._sorted_vm_types
         )
         best: Optional[Tuple[int, str, GoldenImage, MatchResult, ProductionLine]]
         best = None

@@ -303,12 +303,11 @@ class AdaptiveSpeculativePool:
         """Could ``request`` be served from an idle pooled clone now?"""
         if self._is_fill_request(request):
             return False
+        # The pool key covers exactly the `_compatible` fields
+        # (domain, os, hardware, vm_type), so the lookup already
+        # implies compatibility — no per-bid recheck needed.
         pool = self._pools.get(self._key(request))
-        return (
-            pool is not None
-            and pool.size > 0
-            and pool._compatible(request)
-        )
+        return pool is not None and pool.size > 0
 
     def acquire(
         self, request: CreateRequest, vmid: Optional[str] = None

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, Generator, Iterable, Mapping, Optional
 
-from repro.core.classad import ClassAd
+from repro.core.classad import UNDEFINED, ClassAd, Expression, equality_key
 from repro.core.dag import ConfigDAG
 from repro.core.errors import PlantError, VNetError
 from repro.core.matching import match_performed
@@ -81,6 +81,8 @@ class VMPlant(PlantView):
         #: (vmid → domain) for bridge teardown at collection time.
         self._vm_domain: Dict[str, str] = {}
         self._vm_bridged: Dict[str, bool] = {}
+        #: description_ad memo: (infosys.version, pool.version) → ad.
+        self._description_memo: Optional[tuple] = None
         if vnet_service is not None:
             vnet_service.register_server(
                 VNetServer(plant_name=name, host=name)
@@ -107,8 +109,19 @@ class VMPlant(PlantView):
 
     # -- services ------------------------------------------------------------
     def description_ad(self) -> ClassAd:
-        """This plant's matchmaking description (registry/bidding)."""
-        return ClassAd(
+        """This plant's matchmaking description (registry/bidding).
+
+        Memoized against the infosys/network-pool mutation counters:
+        every derived attribute (``committed_mb``, ``active_vms``,
+        ``networks_free``) changes only when one of them ticks, so the
+        same ad answers every bid between mutations.  Callers must
+        treat the returned ad as read-only (``copy()`` to mutate).
+        """
+        key = (self.infosys.version, self.network_pool.version)
+        memo = self._description_memo
+        if memo is not None and memo[0] == key:
+            return memo[1]
+        ad = ClassAd(
             {
                 "name": self.name,
                 "kind": "vmplant",
@@ -122,6 +135,8 @@ class VMPlant(PlantView):
                 ),
             }
         )
+        self._description_memo = (key, ad)
+        return ad
 
     def estimate(self, request: CreateRequest) -> Optional[float]:
         """Bid for a creation request (None = declined).
@@ -137,7 +152,23 @@ class VMPlant(PlantView):
         if request.vm_type is not None and request.vm_type not in self.lines:
             return None
         if request.requirements is not None:
-            if not request.to_classad().matches(self.description_ad()):
+            description = self.description_ad()
+            # Fast reject: any ``other.attr == literal`` conjunct of
+            # the requirements that provably fails against a concrete
+            # description value means the conjunction cannot be True —
+            # decline without running the full match.
+            attrs = description._attrs
+            for attr, scope_kind, key in Expression(
+                request.requirements
+            ).equality_constraints():
+                if scope_kind != "other":
+                    continue
+                raw = attrs.get(attr, UNDEFINED)
+                if not isinstance(raw, Expression) and (
+                    equality_key(raw) != key
+                ):
+                    return None
+            if not request.to_classad().matches(description):
                 return None
         line_ok = any(
             line.can_host(request)

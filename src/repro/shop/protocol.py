@@ -38,7 +38,26 @@ def service_request_to_xml(
 
     ``service`` overrides the envelope's service name — used to wrap a
     :class:`CreateRequest` body in an *estimate* request for bidding.
+
+    Encodings are memoized on the (frozen) request object per service
+    name: bidding encodes one request once, not once per plant.
     """
+    memo = getattr(request, "_xml_memo", None)
+    if memo is not None:
+        cached = memo.get(service)
+        if cached is not None:
+            return cached
+    text = _encode_request(request, service)
+    if memo is None:
+        memo = {}
+        object.__setattr__(request, "_xml_memo", memo)
+    memo[service] = text
+    return text
+
+
+def _encode_request(
+    request: ServiceRequest, service: Optional[str] = None
+) -> str:
     if isinstance(request, CreateRequest):
         text = request_to_xml(request)
         if service is None or service == "create":

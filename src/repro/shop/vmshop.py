@@ -83,13 +83,23 @@ class VMShop:
                 description=describe() if describe else None,
             )
 
-    def discover_plants(self, kind: str = "vmplant") -> int:
-        """Adopt every matching service from the registry."""
+    def discover_plants(
+        self,
+        kind: str = "vmplant",
+        requirements: Optional[Any] = None,
+    ) -> int:
+        """Adopt every matching service from the registry.
+
+        ``requirements`` (classad text or a pre-compiled
+        :class:`~repro.core.classad.Expression`) narrows adoption to
+        descriptions matching the expression, served through the
+        registry's attribute index.
+        """
         if self.registry is None:
             raise ShopError("no registry configured")
         added = 0
         known = {id(b) for b in self.bidders}
-        for entry in self.registry.discover(kind):
+        for entry in self.registry.discover(kind, requirements):
             if id(entry.binding) not in known:
                 self.bidders.append(entry.binding)
                 added += 1

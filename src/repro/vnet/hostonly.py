@@ -116,6 +116,9 @@ class HostOnlyNetworkPool:
         }
         self._vm_network: Dict[str, str] = {}
         self._vm_ip: Dict[str, str] = {}
+        #: Monotonic mutation counter (memo invalidation in the plant's
+        #: ``description_ad``, which publishes ``free_count``).
+        self.version = 0
 
     # -- queries ------------------------------------------------------------
     @property
@@ -160,6 +163,7 @@ class HostOnlyNetworkPool:
         net.attached.add(vmid)
         self._vm_network[vmid] = net.network_id
         self._vm_ip[vmid] = ip
+        self.version += 1
         return NetworkAssignment(
             network_id=net.network_id,
             ip_address=ip,
@@ -178,6 +182,7 @@ class HostOnlyNetworkPool:
         net = next(n for n in self.networks if n.network_id == network_id)
         net.attached.discard(old_vmid)
         net.attached.add(new_vmid)
+        self.version += 1
 
     def detach(self, vmid: str) -> None:
         """Detach a collected VM, possibly freeing the switch."""
@@ -188,6 +193,7 @@ class HostOnlyNetworkPool:
         net = next(n for n in self.networks if n.network_id == network_id)
         net.attached.discard(vmid)
         self._allocators[network_id].release(ip)
+        self.version += 1
         if (
             self.release_policy == "refcount"
             and not net.attached

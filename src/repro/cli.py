@@ -17,6 +17,7 @@ Subcommands map one-to-one to the experiment drivers::
     vmplants resilience
     vmplants replicas
     vmplants loadtest [--requests N] [--rates R ...]
+    vmplants chaos [--mtbf S ...] [--report PATH] [--replay PATH]
     vmplants all                  # everything, in order
 """
 
@@ -128,6 +129,46 @@ def _loadtest(args) -> str:
     ).render()
 
 
+def _chaos(args) -> str:
+    import json
+
+    from repro.experiments.chaos import run_chaos
+
+    plans = None
+    kwargs = {}
+    if args.replay:
+        with open(args.replay) as fh:
+            report = json.load(fh)
+        plans = {
+            float(mtbf): entry["records"]
+            for mtbf, entry in report.get("plans", {}).items()
+        }
+        # Replaying a report reuses its run parameters so the recorded
+        # schedule meets the exact same workload.
+        kwargs = {
+            "seed": report["seed"],
+            "memory_mb": report["memory_mb"],
+            "requests": report["requests"],
+            "rate": report["rate_per_s"],
+            "mttr_s": report["mttr_s"],
+            "n_plants": report["n_plants"],
+            "mtbf_sweep": sorted(plans),
+        }
+    else:
+        kwargs = {
+            "seed": args.seed,
+            "requests": args.requests,
+            "rate": args.rate,
+            "mtbf_sweep": tuple(args.mtbf),
+            "mttr_s": args.mttr,
+        }
+    result = run_chaos(plans=plans, **kwargs)
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(result.to_records(), fh, indent=2, sort_keys=True)
+    return result.render()
+
+
 def _demo(args) -> str:
     from repro import build_testbed, experiment_request
 
@@ -237,6 +278,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-host golden-state cache budget",
     )
     loadtest.set_defaults(runner=_loadtest)
+
+    # Not part of ``all``: fault-injection policy-ladder sweep (see
+    # DESIGN.md, "Fault model & recovery").
+    chaos = sub.add_parser(
+        "chaos",
+        help=(
+            "deterministic fault injection: sweep MTBF over the "
+            "surface/retry/deadline/breaker recovery ladder"
+        ),
+    )
+    chaos.add_argument("--seed", type=int, default=2004)
+    chaos.add_argument("--requests", type=int, default=48)
+    chaos.add_argument(
+        "--rate",
+        type=float,
+        default=0.1,
+        help="arrival rate (requests per simulated second)",
+    )
+    chaos.add_argument(
+        "--mtbf",
+        type=float,
+        nargs="+",
+        default=[300.0, 900.0],
+        help="mean time between faults per target (seconds) to sweep",
+    )
+    chaos.add_argument(
+        "--mttr",
+        type=float,
+        default=60.0,
+        help="mean fault duration (seconds)",
+    )
+    chaos.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="write the JSON report (metrics + recorded fault plans)",
+    )
+    chaos.add_argument(
+        "--replay",
+        default=None,
+        metavar="PATH",
+        help=(
+            "re-run the fault schedules recorded in a saved report "
+            "(ignores --seed/--requests/--rate/--mtbf/--mttr)"
+        ),
+    )
+    chaos.set_defaults(runner=_chaos)
 
     everything = sub.add_parser("all", help="regenerate every artifact")
     everything.add_argument("--seed", type=int, default=2004)

@@ -10,8 +10,10 @@ __all__ = [
     "ConfigurationError",
     "ProtocolError",
     "WarehouseError",
+    "StorageError",
     "PlantError",
     "ShopError",
+    "DeadlineExceeded",
     "VNetError",
 ]
 
@@ -53,12 +55,20 @@ class WarehouseError(ReproError):
     """VM Warehouse failure (missing image, publish conflict)."""
 
 
+class StorageError(ReproError):
+    """Warehouse storage-path failure (NFS outage, aborted transfer)."""
+
+
 class PlantError(ReproError):
     """VMPlant-level failure (no capacity, unknown VM)."""
 
 
 class ShopError(ReproError):
     """VMShop-level failure (no bids, unknown VMID)."""
+
+
+class DeadlineExceeded(ShopError):
+    """A shop-side recovery deadline expired before the work finished."""
 
 
 class VNetError(ReproError):

@@ -1,0 +1,407 @@
+"""Chaos experiment: the recovery-policy ladder under injected faults.
+
+The paper argues (Section 3.1) that decentralized plants limit the
+blast radius of node failures but never measures it.  This experiment
+does: a Poisson request stream runs against the simulated site while a
+deterministic :class:`~repro.faults.plan.FaultPlan` crashes hosts,
+takes the warehouse path down and hangs guest daemons — and the same
+plan is replayed against each rung of the shop-side recovery ladder:
+
+* ``surface``  — failures surface to the client (the seed behaviour);
+* ``retry``    — the shop falls through to the next-best bidder;
+* ``deadline`` — plus per-create/bid deadlines and backoff re-bids;
+* ``breaker``  — plus per-plant circuit-breaker quarantine.
+
+Every policy faces bit-identical arrivals (one named stream) and a
+bit-identical fault schedule (the plan is materialized once per sweep
+point), so availability differences are attributable to policy alone.
+Each run ends with a leak audit: host memory, line admissions,
+information-system entries and network leases must all drain to zero.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import ReproError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.recovery import (
+    CIRCUIT_BREAKER,
+    DEADLINE_BACKOFF,
+    RecoveryPolicy,
+)
+from repro.sim.cluster import build_testbed
+from repro.workloads.requests import poisson_arrivals, request_stream
+
+__all__ = [
+    "POLICY_LADDER",
+    "ChaosPoint",
+    "ChaosResult",
+    "run_chaos",
+]
+
+#: The recovery ladder, weakest first: (name, retry_other_plants,
+#: shop policy).  Availability must be non-decreasing down the list.
+POLICY_LADDER: Tuple[Tuple[str, bool, RecoveryPolicy], ...] = (
+    ("surface", False, RecoveryPolicy()),
+    ("retry", True, RecoveryPolicy()),
+    ("deadline", True, DEADLINE_BACKOFF),
+    ("breaker", True, CIRCUIT_BREAKER),
+)
+
+
+@dataclass(frozen=True)
+class ChaosPoint:
+    """One (mtbf, policy) measurement."""
+
+    policy: str
+    mtbf_s: float
+    requests: int
+    ok: int
+    failed: int
+    #: Fraction of requests that got a VM.
+    availability: float
+    #: Successful creates per simulated second.
+    goodput_per_s: float
+    mean_latency_s: float
+    makespan_s: float
+    faults_applied: int
+    faults_skipped: int
+    #: Mean injected fault window (None = no fault landed).
+    measured_mttr_s: Optional[float]
+    quarantines: int
+    #: Residual resources at drain; all zero on a clean run.
+    leaks: Dict[str, float]
+    #: SHA-256 over per-request outcomes (replay verification).
+    fingerprint: str
+
+    @property
+    def leaked(self) -> bool:
+        return any(v != 0 for v in self.leaks.values())
+
+    def as_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "mtbf_s": self.mtbf_s,
+            "requests": self.requests,
+            "ok": self.ok,
+            "failed": self.failed,
+            "availability": self.availability,
+            "goodput_per_s": self.goodput_per_s,
+            "mean_latency_s": self.mean_latency_s,
+            "makespan_s": self.makespan_s,
+            "faults_applied": self.faults_applied,
+            "faults_skipped": self.faults_skipped,
+            "measured_mttr_s": self.measured_mttr_s,
+            "quarantines": self.quarantines,
+            "leaks": dict(self.leaks),
+            "fingerprint": self.fingerprint,
+        }
+
+
+@dataclass
+class ChaosResult:
+    """Full sweep: MTBF point → ladder of policy measurements."""
+
+    seed: int
+    memory_mb: int
+    requests: int
+    rate_per_s: float
+    mttr_s: float
+    n_plants: int
+    policies: Tuple[str, ...]
+    points: Dict[float, List[ChaosPoint]] = field(default_factory=dict)
+    #: Recorded fault schedule per MTBF point (the replay artifact).
+    plans: Dict[float, List[dict]] = field(default_factory=dict)
+
+    def point(self, mtbf_s: float, policy: str) -> ChaosPoint:
+        for p in self.points[mtbf_s]:
+            if p.policy == policy:
+                return p
+        raise KeyError(f"no point for {policy!r} at MTBF {mtbf_s}")
+
+    def availability_ladder(self, mtbf_s: float) -> List[float]:
+        """Availabilities in ladder order for one MTBF point."""
+        return [
+            self.point(mtbf_s, policy).availability
+            for policy in self.policies
+        ]
+
+    def plan_signature(self, mtbf_s: float) -> str:
+        return FaultPlan.from_records(self.plans[mtbf_s]).signature()
+
+    def to_records(self) -> dict:
+        """JSON-ready report (``vmplants chaos --report``)."""
+        return {
+            "seed": self.seed,
+            "memory_mb": self.memory_mb,
+            "requests": self.requests,
+            "rate_per_s": self.rate_per_s,
+            "mttr_s": self.mttr_s,
+            "n_plants": self.n_plants,
+            "policies": list(self.policies),
+            "points": [
+                p.as_dict()
+                for mtbf in sorted(self.points)
+                for p in self.points[mtbf]
+            ],
+            "plans": {
+                str(mtbf): {
+                    "signature": self.plan_signature(mtbf),
+                    "records": records,
+                }
+                for mtbf, records in self.plans.items()
+            },
+        }
+
+    def render(self) -> str:
+        lines = [
+            "Extension: recovery-policy ladder under injected faults "
+            f"({self.requests} x {self.memory_mb} MB VMs, "
+            f"{self.n_plants} plants, {self.rate_per_s:g} req/s, "
+            f"MTTR {self.mttr_s:.0f} s)",
+            "",
+            f"{'MTBF (s)':>9} {'policy':<10} {'ok':>4} {'avail':>7} "
+            f"{'goodput/s':>10} {'mean lat':>9} {'faults':>7} "
+            f"{'MTTR (s)':>9} {'quar':>5} {'leaks':>6}",
+            "-" * 84,
+        ]
+        for mtbf in sorted(self.points):
+            for p in self.points[mtbf]:
+                mttr = (
+                    f"{p.measured_mttr_s:>9.1f}"
+                    if p.measured_mttr_s is not None
+                    else f"{'-':>9}"
+                )
+                lines.append(
+                    f"{mtbf:>9.0f} {p.policy:<10} {p.ok:>4d} "
+                    f"{p.availability:>7.3f} {p.goodput_per_s:>10.4f} "
+                    f"{p.mean_latency_s:>9.1f} {p.faults_applied:>7d} "
+                    f"{mttr} {p.quarantines:>5d} "
+                    f"{'LEAK' if p.leaked else 'none':>6}"
+                )
+        lines.append("-" * 84)
+        for mtbf in sorted(self.points):
+            ladder = self.availability_ladder(mtbf)
+            arrow = " <= ".join(f"{a:.3f}" for a in ladder)
+            mono = all(b >= a for a, b in zip(ladder, ladder[1:]))
+            lines.append(
+                f"MTBF {mtbf:.0f}s availability ladder "
+                f"({' -> '.join(self.policies)}): {arrow}"
+                f"{'' if mono else '  [NOT MONOTONE]'}"
+            )
+        return "\n".join(lines)
+
+
+def _policy_table(
+    policies: Sequence[str],
+) -> List[Tuple[str, bool, RecoveryPolicy]]:
+    by_name = {name: (name, retry, pol) for name, retry, pol in POLICY_LADDER}
+    unknown = set(policies) - set(by_name)
+    if unknown:
+        raise ValueError(f"unknown policies: {sorted(unknown)}")
+    return [by_name[name] for name in policies]
+
+
+def _leak_report(bed) -> Dict[str, float]:
+    """Residual resources after the workload drained (want all-zero)."""
+    admitted = 0.0
+    for line_list in bed.lines.values():
+        for line in line_list:
+            admitted += sum(
+                getattr(line, "_admitted", {}).values()
+            )
+    return {
+        "host_memory_mb": float(
+            sum(h.committed_guest_mb for h in bed.hosts)
+        ),
+        "host_vms": float(sum(h.vm_count for h in bed.hosts)),
+        "admitted_mb": float(admitted),
+        "infosys_vms": float(sum(len(p.infosys) for p in bed.plants)),
+        "network_leases": float(
+            sum(p.network_pool.attached_count() for p in bed.plants)
+        ),
+        "pool_slots": float(sum(p.pooled_vms for p in bed.pools)),
+    }
+
+
+def _fingerprint(outcomes: Sequence[Tuple[int, str, float]]) -> str:
+    payload = ";".join(
+        f"{idx}:{status}:{latency:.9f}" for idx, status, latency in outcomes
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def _run_point(
+    policy_name: str,
+    retry_other_plants: bool,
+    policy: RecoveryPolicy,
+    plan: FaultPlan,
+    seed: int,
+    memory_mb: int,
+    requests: int,
+    rate: float,
+    hold_s: float,
+    n_plants: int,
+    mtbf_s: float,
+) -> ChaosPoint:
+    bed = build_testbed(
+        seed=seed,
+        n_plants=n_plants,
+        retry_other_plants=retry_other_plants,
+        recovery=policy,
+    )
+    injector = FaultInjector(bed, plan)
+    injector.start()
+    stream = request_stream(memory_mb, requests)
+    # One shared stream name: every policy sees identical arrivals.
+    times = poisson_arrivals(
+        bed.rng, rate, requests, stream=f"chaos/{rate}"
+    )
+    outcomes: List[Tuple[int, str, float]] = []
+    latencies: List[float] = []
+    failures = [0]
+
+    def one(idx: int, at: float, request) -> Generator:
+        yield bed.env.timeout(at)
+        start = bed.env.now
+        try:
+            ad = yield from bed.shop.create(request)
+        except ReproError:
+            failures[0] += 1
+            outcomes.append((idx, "fail", bed.env.now - start))
+            return
+        latencies.append(bed.env.now - start)
+        outcomes.append((idx, "ok", bed.env.now - start))
+        yield bed.env.timeout(hold_s)
+        try:
+            yield from bed.shop.destroy(str(ad["vmid"]))
+        except ReproError:
+            pass  # crash-killed underneath us; route already dropped
+
+    def client() -> Generator:
+        procs = [
+            bed.env.process(one(idx, at, request))
+            for idx, (at, request) in enumerate(zip(times, stream))
+        ]
+        yield bed.env.all_of(procs)
+
+    start = bed.env.now
+    bed.run(client())
+    makespan = bed.env.now - start
+    ok = len(latencies)
+    sample = np.asarray(latencies, dtype=float)
+    quarantines = sum(
+        h.times_opened for h in bed.shop.health.values()
+    )
+    return ChaosPoint(
+        policy=policy_name,
+        mtbf_s=mtbf_s,
+        requests=requests,
+        ok=ok,
+        failed=failures[0],
+        availability=ok / requests if requests else 0.0,
+        goodput_per_s=ok / makespan if makespan > 0 else 0.0,
+        mean_latency_s=float(sample.mean()) if ok else float("nan"),
+        makespan_s=makespan,
+        faults_applied=sum(
+            1 for _, phase, _, _ in injector.applied if phase == "inject"
+        ),
+        faults_skipped=injector.skipped,
+        measured_mttr_s=injector.mean_time_to_recover(),
+        quarantines=quarantines,
+        leaks=_leak_report(bed),
+        fingerprint=_fingerprint(sorted(outcomes)),
+    )
+
+
+def run_chaos(
+    seed: int = 2004,
+    memory_mb: int = 64,
+    requests: int = 48,
+    rate: float = 0.1,
+    mtbf_sweep: Sequence[float] = (300.0, 900.0),
+    mttr_s: float = 60.0,
+    hold_s: float = 45.0,
+    n_plants: int = 8,
+    crash_plants: Optional[int] = None,
+    warehouse_outages: bool = True,
+    warehouse_mode: str = "stall",
+    guest_hangs: bool = True,
+    hang_s: float = 30.0,
+    policies: Sequence[str] = tuple(name for name, _, _ in POLICY_LADDER),
+    plans: Optional[Dict[float, List[dict]]] = None,
+) -> ChaosResult:
+    """Sweep fault pressure (MTBF) across the recovery-policy ladder.
+
+    One :class:`FaultPlan` is materialized per MTBF point and replayed
+    against every policy.  ``plans`` (mtbf → recorded events, the
+    ``plans`` section of a saved report) bypasses generation entirely —
+    the replay path: identical schedule, bit-identical outcome.
+    """
+    if requests <= 0:
+        raise ValueError("requests must be positive")
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    ladder = _policy_table(policies)
+    if crash_plants is None:
+        crash_plants = max(1, n_plants // 2)
+    crash_plants = min(crash_plants, n_plants)
+    # Generously past the last arrival so late faults still land
+    # while VMs are held, but the plan stays finite.
+    horizon_s = requests / rate + 6.0 * mttr_s
+
+    result = ChaosResult(
+        seed=seed,
+        memory_mb=memory_mb,
+        requests=requests,
+        rate_per_s=rate,
+        mttr_s=mttr_s,
+        n_plants=n_plants,
+        policies=tuple(policies),
+    )
+    for mtbf in mtbf_sweep:
+        if plans is not None and mtbf in plans:
+            plan = FaultPlan.from_records(plans[mtbf])
+        else:
+            from repro.sim.rng import RngHub
+
+            hub = RngHub(seed)
+            plan = FaultPlan.exponential(
+                hub,
+                horizon_s,
+                crash_targets=[f"plant{i}" for i in range(crash_plants)],
+                mtbf_s=mtbf,
+                mttr_s=mttr_s,
+                warehouse=warehouse_outages,
+                warehouse_mode=warehouse_mode,
+                hang_targets=(
+                    [f"plant{i}" for i in range(crash_plants, n_plants)]
+                    if guest_hangs
+                    else ()
+                ),
+                hang_s=hang_s,
+            )
+        result.plans[mtbf] = plan.to_records()
+        result.points[mtbf] = [
+            _run_point(
+                name,
+                retry,
+                policy,
+                plan,
+                seed,
+                memory_mb,
+                requests,
+                rate,
+                hold_s,
+                n_plants,
+                mtbf,
+            )
+            for name, retry, policy in ladder
+        ]
+    return result

@@ -1,0 +1,43 @@
+"""Deterministic fault injection and recovery (`repro.faults`).
+
+The fault model the paper's resilience argument (Section 3.1)
+implies but never tests: host crashes, warehouse/NFS outages, link
+degradation and guest-daemon hangs, all scheduled deterministically
+from seeded streams and replayable from a recorded plan — plus the
+shop-side recovery ladder (deadlines, backoff re-bid, plant
+quarantine) that survives them.  See ``experiments/chaos.py`` for
+the policy-ladder sweep.
+"""
+
+from repro.faults.health import BreakerState, PlantHealth
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FAULT_KINDS,
+    GUEST_HANG,
+    HOST_CRASH,
+    LINK_DEGRADE,
+    WAREHOUSE_OUTAGE,
+    FaultEvent,
+    FaultPlan,
+)
+from repro.faults.recovery import (
+    CIRCUIT_BREAKER,
+    DEADLINE_BACKOFF,
+    RecoveryPolicy,
+)
+
+__all__ = [
+    "BreakerState",
+    "PlantHealth",
+    "FaultInjector",
+    "FaultEvent",
+    "FaultPlan",
+    "FAULT_KINDS",
+    "HOST_CRASH",
+    "WAREHOUSE_OUTAGE",
+    "LINK_DEGRADE",
+    "GUEST_HANG",
+    "RecoveryPolicy",
+    "DEADLINE_BACKOFF",
+    "CIRCUIT_BREAKER",
+]

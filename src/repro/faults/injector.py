@@ -1,0 +1,163 @@
+"""Drive a :class:`~repro.faults.plan.FaultPlan` against a testbed.
+
+One kernel process per scheduled fault: sleep until the fault time,
+apply the fault, sleep the fault duration, apply the recovery.  All
+state changes are synchronous method calls on the testbed's existing
+components (plants, storage, links), so the injector itself draws no
+randomness — replaying a recorded plan reproduces the exact same
+injections at the exact same times.
+
+Overlapping faults on one target are skipped (counted in
+``skipped``), so every applied fault has exactly one recovery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.faults.plan import (
+    GUEST_HANG,
+    HOST_CRASH,
+    LINK_DEGRADE,
+    WAREHOUSE_OUTAGE,
+    FaultEvent,
+    FaultPlan,
+)
+from repro.sim.trace import trace
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Applies a fault plan to a built testbed."""
+
+    def __init__(self, bed, plan: FaultPlan):
+        self.bed = bed
+        self.plan = plan
+        self.env = bed.env
+        self._plants = {p.name: p for p in bed.plants}
+        #: Applied transitions: (time, phase, kind, target) with
+        #: phase ``"inject"`` or ``"recover"`` — the chaos report's
+        #: MTTR comes from pairing these.
+        self.applied: List[Tuple[float, str, str, str]] = []
+        self.skipped = 0
+        #: Degraded link target → saved nominal bandwidths (None for
+        #: a full partition, restored via resume()).
+        self._nominal_bw: Dict[str, Optional[List[float]]] = {}
+        self._started = False
+
+    def start(self) -> int:
+        """Launch one driver process per scheduled fault."""
+        if self._started:
+            raise RuntimeError("injector already started")
+        self._started = True
+        for event in self.plan:
+            self.env.process(self._drive(event))
+        return len(self.plan)
+
+    # -- internals -----------------------------------------------------------
+    def _links_for(self, target: str) -> list:
+        if target == "internode":
+            return [self.bed.internode]
+        nfs = self.bed.nfs
+        replicas = getattr(nfs, "replicas", None)
+        if replicas is not None:
+            return [r.link for r in replicas]
+        return [nfs.link]
+
+    def _drive(self, event: FaultEvent) -> Generator:
+        if event.at > self.env.now:
+            yield self.env.timeout(event.at - self.env.now)
+        if not self._inject(event):
+            self.skipped += 1
+            return
+        self.applied.append(
+            (self.env.now, "inject", event.kind, event.target)
+        )
+        trace(
+            self.env, "fault", "inject",
+            kind=event.kind, target=event.target,
+            duration=round(event.duration, 3),
+        )
+        yield self.env.timeout(event.duration)
+        self._recover(event)
+        self.applied.append(
+            (self.env.now, "recover", event.kind, event.target)
+        )
+        trace(
+            self.env, "fault", "recover",
+            kind=event.kind, target=event.target,
+        )
+
+    def _inject(self, event: FaultEvent) -> bool:
+        """Apply a fault; False = skipped (target busy/unknown)."""
+        if event.kind == HOST_CRASH:
+            plant = self._plants.get(event.target)
+            if plant is None or plant.down:
+                return False
+            plant.fail()
+            return True
+        if event.kind == WAREHOUSE_OUTAGE:
+            return self.bed.nfs.begin_outage(event.mode)
+        if event.kind == LINK_DEGRADE:
+            if event.target in self._nominal_bw:
+                return False
+            links = self._links_for(event.target)
+            if event.severity <= 0:
+                for link in links:
+                    link.pause()
+                self._nominal_bw[event.target] = None
+            else:
+                self._nominal_bw[event.target] = [
+                    link.bandwidth_mbps for link in links
+                ]
+                for link in links:
+                    link.set_bandwidth(
+                        link.bandwidth_mbps * event.severity
+                    )
+            return True
+        if event.kind == GUEST_HANG:
+            plant = self._plants.get(event.target)
+            if plant is None or plant.down:
+                return False
+            for line in plant.lines.values():
+                line.hang_until = max(line.hang_until, event.recover_at)
+            return True
+        return False  # pragma: no cover - plan validates kinds
+
+    def _recover(self, event: FaultEvent) -> None:
+        if event.kind == HOST_CRASH:
+            self._plants[event.target].recover()
+        elif event.kind == WAREHOUSE_OUTAGE:
+            self.bed.nfs.end_outage()
+        elif event.kind == LINK_DEGRADE:
+            links = self._links_for(event.target)
+            saved = self._nominal_bw.pop(event.target)
+            if saved is None:
+                for link in links:
+                    link.resume()
+            else:
+                for link, mbps in zip(links, saved):
+                    link.set_bandwidth(mbps)
+        # GUEST_HANG heals by itself once hang_until passes.
+
+    def mean_time_to_recover(self) -> Optional[float]:
+        """Mean applied fault window (None when nothing was applied)."""
+        opened: Dict[Tuple[str, str], float] = {}
+        windows: List[float] = []
+        for at, phase, kind, target in self.applied:
+            if phase == "inject":
+                opened[(kind, target)] = at
+            else:
+                start = opened.pop((kind, target), None)
+                if start is not None:
+                    windows.append(at - start)
+        if not windows:
+            return None
+        return sum(windows) / len(windows)
+
+    def __repr__(self) -> str:
+        return (
+            f"<FaultInjector events={len(self.plan)}"
+            f" applied={len(self.applied)} skipped={self.skipped}>"
+        )

@@ -1,0 +1,224 @@
+"""Deterministic fault schedules.
+
+A :class:`FaultPlan` is an explicit, fully materialized list of
+:class:`FaultEvent` — every fault and its recovery time is fixed
+*before* the simulation starts, so a plan is trivially replayable:
+record it (``to_records``), ship the JSON anywhere, and re-run the
+same schedule against any policy (``from_records``).
+
+Plans come from two places:
+
+* hand-written schedules (tests, targeted repros);
+* :meth:`FaultPlan.exponential`, a seeded MTBF/MTTR renewal process
+  drawn from dedicated ``fault/...`` streams of the simulation's
+  :class:`~repro.sim.rng.RngHub` — independent of every workload
+  stream by construction, so enabling faults never perturbs arrival
+  or service draws.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence
+
+from repro.sim.rng import RngHub
+
+__all__ = [
+    "HOST_CRASH",
+    "WAREHOUSE_OUTAGE",
+    "LINK_DEGRADE",
+    "GUEST_HANG",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+]
+
+#: A plant's host dies: resident VMs are killed, memory released,
+#: caches and pools invalidated, bids decline until recovery.
+HOST_CRASH = "host-crash"
+#: The warehouse/NFS path goes away: in-flight transfers abort
+#: (``mode="abort"``) or freeze (``mode="stall"``) for the window.
+WAREHOUSE_OUTAGE = "warehouse-outage"
+#: A shared link runs at ``severity`` × nominal bandwidth for the
+#: window (severity 0 = full partition: flows freeze).
+LINK_DEGRADE = "link-degrade"
+#: The guest configuration daemon hangs: actions stall until the
+#: window passes.
+GUEST_HANG = "guest-hang"
+
+FAULT_KINDS = frozenset(
+    {HOST_CRASH, WAREHOUSE_OUTAGE, LINK_DEGRADE, GUEST_HANG}
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: inject at ``at``, recover ``duration`` later."""
+
+    at: float
+    kind: str
+    #: What the fault hits: a plant name (host-crash, guest-hang),
+    #: ``"warehouse"``, or a link name (``"nfs"`` / ``"internode"``).
+    target: str
+    duration: float
+    #: Link-degrade residual bandwidth fraction (0 = partition).
+    severity: float = 0.0
+    #: Warehouse-outage semantics: ``"abort"`` or ``"stall"``.
+    mode: str = "stall"
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.at < 0:
+            raise ValueError("fault time must be non-negative")
+        if self.duration <= 0:
+            raise ValueError("fault duration must be positive")
+        if not 0.0 <= self.severity < 1.0:
+            raise ValueError("severity must be in [0, 1)")
+        if self.mode not in ("abort", "stall"):
+            raise ValueError(f"unknown outage mode {self.mode!r}")
+
+    @property
+    def recover_at(self) -> float:
+        """Absolute simulated time the fault heals."""
+        return self.at + self.duration
+
+
+class FaultPlan:
+    """An ordered, replayable schedule of fault events."""
+
+    def __init__(self, events: Iterable[FaultEvent] = ()):
+        self.events: List[FaultEvent] = sorted(
+            events, key=lambda e: (e.at, e.kind, e.target)
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    # -- recording / replay --------------------------------------------------
+    def to_records(self) -> List[dict]:
+        """JSON-ready records (``from_records`` round-trips them)."""
+        return [
+            {
+                "at": e.at,
+                "kind": e.kind,
+                "target": e.target,
+                "duration": e.duration,
+                "severity": e.severity,
+                "mode": e.mode,
+            }
+            for e in self.events
+        ]
+
+    @classmethod
+    def from_records(cls, records: Iterable[dict]) -> "FaultPlan":
+        """Rebuild a recorded plan (replay path)."""
+        return cls(FaultEvent(**record) for record in records)
+
+    def signature(self) -> str:
+        """Content hash of the schedule (replay verification)."""
+        payload = json.dumps(self.to_records(), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    # -- generation ----------------------------------------------------------
+    @classmethod
+    def exponential(
+        cls,
+        hub: RngHub,
+        horizon_s: float,
+        *,
+        crash_targets: Sequence[str] = (),
+        mtbf_s: float = 600.0,
+        mttr_s: float = 120.0,
+        warehouse: bool = False,
+        warehouse_mode: str = "stall",
+        degrade_links: Sequence[str] = (),
+        degrade_severity: float = 0.25,
+        hang_targets: Sequence[str] = (),
+        hang_s: float = 30.0,
+    ) -> "FaultPlan":
+        """Seeded MTBF/MTTR renewal schedule over ``[0, horizon_s)``.
+
+        Each target gets its own ``fault/<kind>/<target>`` stream, so
+        the schedule for one target is independent of every other —
+        and of the workload.  Repairs are drawn with mean ``mttr_s``
+        (floored at one second so every fault has a recovery).
+        """
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        if mtbf_s <= 0 or mttr_s <= 0:
+            raise ValueError("mtbf_s and mttr_s must be positive")
+        events: List[FaultEvent] = []
+
+        def renewal(stream: str, duration_mean: float):
+            """Yield (at, duration) pairs of one renewal process."""
+            t = hub.expovariate(stream, 1.0 / mtbf_s)
+            while t < horizon_s:
+                duration = max(
+                    1.0, hub.expovariate(stream, 1.0 / duration_mean)
+                )
+                yield t, duration
+                t += duration + hub.expovariate(stream, 1.0 / mtbf_s)
+
+        for target in crash_targets:
+            for at, duration in renewal(
+                f"fault/{HOST_CRASH}/{target}", mttr_s
+            ):
+                events.append(
+                    FaultEvent(
+                        at=at,
+                        kind=HOST_CRASH,
+                        target=target,
+                        duration=duration,
+                    )
+                )
+        if warehouse:
+            for at, duration in renewal(
+                f"fault/{WAREHOUSE_OUTAGE}/warehouse", mttr_s
+            ):
+                events.append(
+                    FaultEvent(
+                        at=at,
+                        kind=WAREHOUSE_OUTAGE,
+                        target="warehouse",
+                        duration=duration,
+                        mode=warehouse_mode,
+                    )
+                )
+        for target in degrade_links:
+            for at, duration in renewal(
+                f"fault/{LINK_DEGRADE}/{target}", mttr_s
+            ):
+                events.append(
+                    FaultEvent(
+                        at=at,
+                        kind=LINK_DEGRADE,
+                        target=target,
+                        duration=duration,
+                        severity=degrade_severity,
+                    )
+                )
+        for target in hang_targets:
+            for at, duration in renewal(
+                f"fault/{GUEST_HANG}/{target}", hang_s
+            ):
+                events.append(
+                    FaultEvent(
+                        at=at,
+                        kind=GUEST_HANG,
+                        target=target,
+                        duration=duration,
+                    )
+                )
+        return cls(events)
+
+    def __repr__(self) -> str:
+        return f"<FaultPlan events={len(self.events)}>"

@@ -8,8 +8,9 @@ state without the shop holding any of it.
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Generator, List, Optional
 
+from repro.core.errors import ReproError
 from repro.plant.infosys import VMInformationSystem
 from repro.plant.production import VMStatus
 from repro.sim.kernel import Environment, Interrupt, Process
@@ -32,6 +33,9 @@ class VMMonitor:
         self.infosys = infosys
         self.period = period
         self.sweeps = 0
+        #: vmids whose refresh raised (e.g. removed mid-sweep by a
+        #: crash); the sweep keeps going.
+        self.failed: List[str] = []
         self._proc: Optional[Process] = None
 
     def start(self) -> Process:
@@ -47,9 +51,13 @@ class VMMonitor:
             self._proc.interrupt("monitor stopped")
 
     def sweep(self) -> None:
-        """One immediate refresh pass over all active VMs."""
+        """One immediate refresh pass over all active VMs.
+
+        A VM torn down mid-sweep (host crash, concurrent destroy) is
+        recorded in :attr:`failed` instead of aborting the pass.
+        """
         now = self.env.now
-        for vm in self.infosys.active():
+        for vm in list(self.infosys.active()):
             started = vm.classad.get("created_at")
             attrs = {
                 "status": vm.status.value,
@@ -58,7 +66,10 @@ class VMMonitor:
             }
             if isinstance(started, (int, float)) and vm.status is VMStatus.RUNNING:
                 attrs["uptime"] = now - float(started)
-            self.infosys.update(vm.vmid, attrs)
+            try:
+                self.infosys.update(vm.vmid, attrs)
+            except ReproError:
+                self.failed.append(vm.vmid)
         self.sweeps += 1
 
     def _run(self) -> Generator:

@@ -28,7 +28,7 @@ from repro.core.actions import (
     ErrorPolicy,
 )
 from repro.core.dag import ConfigDAG
-from repro.core.errors import ConfigurationError, PlantError
+from repro.core.errors import ConfigurationError, PlantError, ReproError
 from repro.core.matching import MatchResult
 from repro.core.spec import CreateRequest
 from repro.plant.infosys import VMInformationSystem
@@ -39,7 +39,7 @@ from repro.plant.production import (
     VMStatus,
 )
 from repro.plant.warehouse import GoldenImage, VMWarehouse
-from repro.sim.kernel import Environment
+from repro.sim.kernel import Environment, Interrupt
 from repro.sim.trace import trace
 
 __all__ = ["ProductionOrder", "ProductionProcessPlanner"]
@@ -76,6 +76,10 @@ class ProductionProcessPlanner:
         # Lines are fixed at construction; pre-sort the untyped-request
         # candidate order once instead of per plan() call.
         self._sorted_vm_types = sorted(self.lines)
+        #: In-flight productions: vmid → (vm, line), registered for
+        #: the clone+configure window so an abort can find and release
+        #: partial state (:meth:`abort_inflight`).
+        self._inflight: Dict[str, Tuple[VirtualMachine, ProductionLine]] = {}
 
     # -- planning ---------------------------------------------------------
     def plan(
@@ -128,6 +132,8 @@ class ProductionProcessPlanner:
         Raises :class:`PlantError` on clone failure and
         :class:`ConfigurationError` when a FAIL/HANDLER action aborts
         production.  In both cases the partial clone is collected.
+        The production is registered in-flight for its whole duration
+        so :meth:`abort_inflight` can release partial state.
         """
         image, match, line = self.plan(order)
         request = order.request
@@ -152,6 +158,42 @@ class ProductionProcessPlanner:
         ad["created_at"] = self.env.now
         ad["clone_mode"] = order.clone_mode.value
 
+        self._inflight[order.vmid] = (vm, line)
+        try:
+            yield from self._produce_phases(
+                order, vm, image, match, line, context
+            )
+        finally:
+            self._inflight.pop(order.vmid, None)
+        return vm
+
+    def abort_inflight(self, vmid: str):
+        """Release an in-flight production's partial state.
+
+        Returns ``(vm, line)`` when a production was actually aborted
+        (the caller decides what else to unwind), else ``(None,
+        None)``.  Synchronous: marks the VM failed and releases any
+        line-held memory exactly once.
+        """
+        entry = self._inflight.pop(vmid, None)
+        if entry is None:
+            return None, None
+        vm, line = entry
+        vm.status = VMStatus.FAILED
+        line.abort(vm)
+        return vm, line
+
+    def _produce_phases(
+        self,
+        order: ProductionOrder,
+        vm: VirtualMachine,
+        image: GoldenImage,
+        match: MatchResult,
+        line: ProductionLine,
+        context: Dict[str, str],
+    ) -> Generator:
+        request = order.request
+        ad = vm.classad
         # Phase 4 of Figure 3: clone the cached sub-graph.
         trace(
             self.env, "ppp", "clone-start",
@@ -161,7 +203,8 @@ class ProductionProcessPlanner:
         clone_start = self.env.now
         try:
             yield from line.clone(vm, order.clone_mode)
-        except PlantError:
+        except (ReproError, Interrupt):
+            # The line's clone wrapper already released host memory.
             vm.status = VMStatus.FAILED
             raise
         ad["clone_time"] = self.env.now - clone_start
@@ -187,6 +230,14 @@ class ProductionProcessPlanner:
         except ConfigurationError:
             vm.status = VMStatus.FAILED
             yield from line.collect(vm)
+            raise
+        except (ReproError, Interrupt):
+            # Crash or deadline-interrupt mid-configuration: the clone
+            # is running and holds host memory, but a graceful collect
+            # is impossible (host down / caller gone) — release
+            # synchronously.
+            vm.status = VMStatus.FAILED
+            line.abort(vm)
             raise
         ad["config_time"] = self.env.now - config_start
         ad["total_time"] = self.env.now - clone_start

@@ -140,6 +140,21 @@ class ProductionLine(ABC):
         """Estimated seconds to fully copy the image's disk (ablation)."""
         return 0.0
 
+    # -- fault hooks (repro.faults) ------------------------------------------
+    def abort(self, vm: VirtualMachine) -> bool:
+        """Synchronously release a VM's resources (crash/abort path).
+
+        Idempotent; returns True when something was actually released.
+        Lines with real resource accounting override this.
+        """
+        return False
+
+    def host_crashed(self) -> None:
+        """The hosting node died; drop any node-local state."""
+
+    def host_recovered(self) -> None:
+        """The hosting node came back up."""
+
     # -- migration hooks (Section 6 future work) -----------------------------
     # Lines that support migrating active VMs override all four; the
     # defaults decline.  The protocol, driven by

@@ -143,6 +143,16 @@ class SpeculativeClonePool:
         ad["client"] = request.client_id
         return ad
 
+    def invalidate(self) -> int:
+        """Forget all idle pooled clones without collecting them.
+
+        Crash path: the host already killed the VMs, so the pool just
+        drops its slots.  Returns the number of slots dropped.
+        """
+        dropped = len(self._pool)
+        self._pool.clear()
+        return dropped
+
     def drain(self) -> Generator:
         """Collect all idle pooled clones (shutdown path)."""
         drained = 0
@@ -332,6 +342,10 @@ class AdaptiveSpeculativePool:
             self.misses += 1
         self._schedule_refill(key, pool)
         return ad
+
+    def invalidate(self) -> int:
+        """Drop every idle pooled slot (host crash path)."""
+        return sum(pool.invalidate() for pool in self._pools.values())
 
     def drain(self) -> Generator:
         """Collect every idle pooled clone (shutdown path)."""

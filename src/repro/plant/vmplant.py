@@ -14,7 +14,7 @@ their latency).
 
 from __future__ import annotations
 
-from typing import Dict, Generator, Iterable, Mapping, Optional
+from typing import Dict, Generator, Iterable, List, Mapping, Optional
 
 from repro.core.classad import UNDEFINED, ClassAd, Expression, equality_key
 from repro.core.dag import ConfigDAG
@@ -74,6 +74,11 @@ class VMPlant(PlantView):
         #: Cordoned plants decline all new bids (maintenance mode);
         #: existing VMs keep running and can be drained away.
         self.cordoned = False
+        #: Crash state (fault injection): a down plant's host is
+        #: gone — resident VMs died, and remote calls hang until
+        #: recovery (see :meth:`fail` / :meth:`recover`).
+        self.down = False
+        self._up_event = None
         self.ppp = ProductionProcessPlanner(
             env, warehouse, self.infosys, self.lines
         )
@@ -147,7 +152,7 @@ class VMPlant(PlantView):
         expression rejects this plant's description ad, or the cost
         model refuses.
         """
-        if self.cordoned:
+        if self.cordoned or self.down:
             return None
         if request.vm_type is not None and request.vm_type not in self.lines:
             return None
@@ -194,6 +199,18 @@ class VMPlant(PlantView):
             cost *= self.speculative.bid_discount
         return cost
 
+    def estimate_proc(self, request: CreateRequest) -> Generator:
+        """Transport-driven estimate: hangs while the plant is down.
+
+        A crashed plant's remote estimate call simply never returns
+        until the host is back (the shop's ``bid_deadline_s`` is what
+        bounds the wait).  Zero-yield when healthy, so the default
+        trajectory is identical to the immediate :meth:`estimate`.
+        """
+        while self.down:
+            yield self._up_event
+        return self.estimate(request)
+
     def create(
         self,
         request: CreateRequest,
@@ -209,6 +226,8 @@ class VMPlant(PlantView):
         adopted and extended instead — it already holds network and
         memory resources, so the capacity check is skipped.
         """
+        if self.down:
+            raise PlantError(f"plant {self.name}: host is down")
         if self.speculative is not None:
             ad = yield from self.speculative.acquire(request, vmid)
             if ad is not None:
@@ -359,6 +378,108 @@ class VMPlant(PlantView):
             except VNetError:
                 pass  # bridge already gone (shared teardown)
         return vm.classad.copy()
+
+    def kill_vm(self, vmid: str) -> VirtualMachine:
+        """Synchronously destroy a VM without the graceful collect.
+
+        The crash/orphan path: release host memory, drop the classad,
+        detach the network lease and tear down any bridge — no
+        simulated time passes (the VM died, nobody powers it off).
+        """
+        vm = self.infosys.get(vmid)
+        line = self.lines[vm.vm_type]
+        line.abort(vm)
+        vm.status = VMStatus.FAILED
+        vm.classad["status"] = vm.status.value
+        self.infosys.remove(vmid)
+        self.network_pool.detach(vmid)
+        domain = self._vm_domain.pop(vmid, None)
+        if self._vm_bridged.pop(vmid, False) and domain is not None:
+            try:
+                self.vnet_service.teardown_bridge(self.name, domain)
+            except VNetError:
+                pass
+        trace(
+            self.env, "plant", "vm-killed",
+            plant=self.name, vmid=vmid,
+        )
+        return vm
+
+    def abort_creation(self, vmid: str) -> List[str]:
+        """Assert-and-release any partial creation state under ``vmid``.
+
+        The shop calls this after a failed or deadline-aborted create
+        so a fallthrough to the next bidder cannot leak the loser's
+        network lease, host memory or infosys entry.  Idempotent and
+        synchronous; returns the resource classes actually released
+        (empty = the normal failure unwinding already cleaned up).
+        """
+        released: List[str] = []
+        vm, line = self.ppp.abort_inflight(vmid)
+        if vm is not None:
+            if line.abort(vm):
+                released.append("memory")
+            released.append("production")
+        if vmid in self.infosys:
+            # The create finished plant-side but the response was
+            # lost (deadline fired mid-reply): kill the orphan.
+            self.kill_vm(vmid)
+            released.append("vm")
+        if self.network_pool.detach(vmid):
+            released.append("network")
+        domain = self._vm_domain.pop(vmid, None)
+        if self._vm_bridged.pop(vmid, False) and domain is not None:
+            try:
+                self.vnet_service.teardown_bridge(self.name, domain)
+            except VNetError:
+                pass
+        if released:
+            trace(
+                self.env, "plant", "abort-creation",
+                plant=self.name, vmid=vmid,
+                released=",".join(released),
+            )
+        return released
+
+    # -- fault injection -----------------------------------------------------
+    def fail(self) -> int:
+        """Crash this plant's host (fault injection).
+
+        Resident VMs die instantly (memory released, leases detached),
+        the host's golden-state caches and speculative pools are
+        invalidated, and the plant stops bidding until
+        :meth:`recover`.  Returns the number of VMs killed.
+        """
+        if self.down:
+            return 0
+        self.down = True
+        self._up_event = self.env.event()
+        killed = 0
+        for vm in list(self.infosys.active()):
+            self.kill_vm(vm.vmid)
+            killed += 1
+        for line in self.lines.values():
+            line.host_crashed()
+        if self.speculative is not None:
+            self.speculative.invalidate()
+        trace(
+            self.env, "plant", "crashed",
+            plant=self.name, killed=killed,
+        )
+        return killed
+
+    def recover(self) -> None:
+        """Bring a crashed plant back into service."""
+        if not self.down:
+            return
+        self.down = False
+        for line in self.lines.values():
+            line.host_recovered()
+        up = self._up_event
+        self._up_event = None
+        if up is not None:
+            up.succeed()
+        trace(self.env, "plant", "recovered", plant=self.name)
 
     def cordon(self) -> None:
         """Enter maintenance mode: decline all new bids.

@@ -23,6 +23,11 @@ from repro.sim.rng import RngHub
 __all__ = ["Bid", "BidCollector"]
 
 
+def _mark_defused(event) -> None:
+    """Mark an abandoned bid process as observed (late failures pass)."""
+    event.defused = True
+
+
 @dataclass(frozen=True)
 class Bid:
     """One plant's (or broker's) answer to an estimate request."""
@@ -47,24 +52,46 @@ class BidCollector:
         self.rng = rng or RngHub(0)
 
     def collect(
-        self, bidders: Sequence[Any], request: CreateRequest
+        self,
+        bidders: Sequence[Any],
+        request: CreateRequest,
+        deadline_s: Optional[float] = None,
     ) -> Generator:
         """Gather bids from every bidder concurrently.
 
         Bidders expose ``name`` and ``estimate(request) -> float|None``
-        (plants and brokers both do).  Returns the list of successful
-        bids in bidder order.
+        (plants and brokers both do); a bidder additionally exposing
+        ``estimate_proc`` is driven through it, which lets a crashed
+        plant *hang* the call instead of answering.  With
+        ``deadline_s`` set, collection stops after that many seconds
+        and still-pending bidders are simply left out of the result
+        (their eventual answers — or failures — are defused).  Returns
+        the list of successful bids in bidder order.
         """
-        procs = [
-            self.env.process(
-                self.transport.call(lambda b=bidder: b.estimate(request))
-            )
-            for bidder in bidders
-        ]
+        procs = []
+        for bidder in bidders:
+            proc_call = getattr(bidder, "estimate_proc", None)
+            if proc_call is not None:
+                handler = lambda c=proc_call: c(request)  # noqa: E731
+            else:
+                handler = lambda b=bidder: b.estimate(request)  # noqa: E731
+            procs.append(self.env.process(self.transport.call(handler)))
         if procs:
-            yield self.env.all_of(procs)
+            if deadline_s is None:
+                yield self.env.all_of(procs)
+            else:
+                yield self.env.any_of(
+                    [self.env.all_of(procs), self.env.timeout(deadline_s)]
+                )
+                for proc in procs:
+                    if not proc.triggered:
+                        # A late answer (or failure) from a hung bidder
+                        # must not crash the kernel once we stop caring.
+                        proc.callbacks.append(_mark_defused)
         bids: List[Bid] = []
         for bidder, proc in zip(bidders, procs):
+            if not proc.triggered:
+                continue
             cost = proc.value
             if cost is not None:
                 bids.append(

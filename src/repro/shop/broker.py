@@ -66,6 +66,20 @@ class VMBroker:
         result = yield from plant.create(request, vmid, clone_mode)
         return result
 
+    def abort_creation(self, vmid: str) -> List[str]:
+        """Forward an abort to every fronted plant (each is idempotent).
+
+        The shop cannot know which plant a broker routed the failed
+        create to, so the broker fans the release out; at most one
+        plant actually held state for ``vmid``.
+        """
+        released: List[str] = []
+        for plant in self.plants:
+            abort = getattr(plant, "abort_creation", None)
+            if abort is not None:
+                released.extend(abort(vmid))
+        return released
+
     def query(self, vmid: str, attributes=()) -> Any:
         """Route a query to whichever fronted plant knows the VM."""
         for plant in self.plants:

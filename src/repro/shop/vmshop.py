@@ -20,8 +20,10 @@ from __future__ import annotations
 from typing import Any, Dict, Generator, Iterable, List, Optional
 
 from repro.core.classad import ClassAd
-from repro.core.errors import ReproError, ShopError
+from repro.core.errors import DeadlineExceeded, ReproError, ShopError
 from repro.core.spec import CreateRequest
+from repro.faults.health import PlantHealth
+from repro.faults.recovery import RecoveryPolicy
 from repro.plant.production import CloneMode
 from repro.shop.bidding import Bid, BidCollector
 from repro.shop.protocol import (
@@ -50,6 +52,7 @@ class VMShop:
         use_xml: bool = True,
         retry_other_plants: bool = False,
         cache_classads: bool = True,
+        recovery: Optional[RecoveryPolicy] = None,
     ):
         self.env = env
         self.name = name
@@ -60,6 +63,12 @@ class VMShop:
         #: On plant failure, fall through to the next-best bid?
         self.retry_other_plants = retry_other_plants
         self.cache_classads = cache_classads
+        #: Deadline / backoff / quarantine knobs; the default policy
+        #: has everything off and leaves create() byte-identical to
+        #: the ladder's "surface" rung.
+        self.recovery = recovery or RecoveryPolicy()
+        #: Per-bidder circuit breakers (lazily created by name).
+        self.health: Dict[str, PlantHealth] = {}
         self.collector = BidCollector(env, self.transport, self.rng)
         self.bidders: List[Any] = []
         self._route: Dict[str, Any] = {}
@@ -120,7 +129,12 @@ class VMShop:
 
         Raises :class:`ShopError` when no plant bids; plant-side
         failures surface unless ``retry_other_plants`` is set, in
-        which case the next-best bidder is tried.
+        which case the next-best bidder is tried.  With a
+        :class:`~repro.faults.recovery.RecoveryPolicy` configured, a
+        failed attempt is re-bid (fresh VMID, exponential backoff) up
+        to ``max_attempts`` times, bid collection and each plant-side
+        create are bounded by deadlines, and repeat offenders are
+        quarantined behind per-plant circuit breakers.
         """
         if self.use_xml:
             # Exercise the prototype's XML service path end to end.
@@ -129,7 +143,57 @@ class VMShop:
             if service != "create":  # pragma: no cover - defensive
                 raise ShopError(f"unexpected service {service!r}")
 
-        bids = yield from self.collector.collect(self.bidders, request)
+        policy = self.recovery
+        last_error: Optional[ReproError] = None
+        for attempt in range(1, max(1, policy.max_attempts) + 1):
+            if attempt > 1:
+                delay = policy.backoff_delay(attempt)
+                trace(
+                    self.env, "shop", "create-backoff",
+                    attempt=attempt, delay=delay,
+                )
+                if delay > 0:
+                    yield self.env.timeout(delay)
+            try:
+                ad = yield from self._create_attempt(request, clone_mode)
+            except ReproError as exc:
+                last_error = exc
+                continue
+            return ad
+        assert last_error is not None
+        raise last_error
+
+    def _health_for(self, name: str) -> PlantHealth:
+        breaker = self.health.get(name)
+        if breaker is None:
+            breaker = PlantHealth(
+                name,
+                threshold=self.recovery.quarantine_threshold,
+                quarantine_s=self.recovery.quarantine_s,
+            )
+            self.health[name] = breaker
+        return breaker
+
+    def _create_attempt(
+        self,
+        request: CreateRequest,
+        clone_mode: Optional[CloneMode],
+    ) -> Generator:
+        """One bid-and-dispatch round (fresh VMID per round)."""
+        policy = self.recovery
+        bidders = self.bidders
+        if policy.quarantine_threshold > 0:
+            now = self.env.now
+            admitted = [
+                b for b in bidders if self._health_for(b.name).allows(now)
+            ]
+            # An all-quarantined site still gets a desperation round
+            # over everyone rather than an instant no-bid failure.
+            if admitted:
+                bidders = admitted
+        bids = yield from self.collector.collect(
+            bidders, request, deadline_s=policy.bid_deadline_s
+        )
         ranked = self.collector.rank(bids)
         if not ranked:
             raise ShopError("no plant bid for the request")
@@ -143,13 +207,33 @@ class VMShop:
         candidates = ranked if self.retry_other_plants else ranked[:1]
         for bid in candidates:
             try:
-                ad = yield from self.transport.call(
-                    lambda b=bid: b.bidder.create(request, vmid, clone_mode)
+                ad = yield from self._dispatch_create(
+                    bid, request, vmid, clone_mode
                 )
             except ReproError as exc:
                 self.creation_log.append((vmid, bid.bidder_name, False))
                 last_error = exc
+                trace(
+                    self.env, "shop", "create-failed",
+                    vmid=vmid, plant=bid.bidder_name,
+                    error=type(exc).__name__,
+                )
+                if self._health_for(bid.bidder_name).record_failure(
+                    self.env.now
+                ):
+                    trace(
+                        self.env, "shop", "plant-quarantined",
+                        plant=bid.bidder_name,
+                        until=self.env.now + self.recovery.quarantine_s,
+                    )
+                # Synchronous orphan release: whatever partial state
+                # the failed/aborted create left behind must be gone
+                # before the next bidder (or attempt) runs.
+                abort = getattr(bid.bidder, "abort_creation", None)
+                if abort is not None:
+                    abort(vmid)
                 continue
+            self._health_for(bid.bidder_name).record_success(self.env.now)
             self._route[vmid] = bid.bidder
             if self.cache_classads:
                 self._cache[vmid] = ad.copy()
@@ -161,6 +245,49 @@ class VMShop:
             return ad
         assert last_error is not None
         raise last_error
+
+    def _dispatch_create(
+        self,
+        bid: Bid,
+        request: CreateRequest,
+        vmid: str,
+        clone_mode: Optional[CloneMode],
+    ) -> Generator:
+        """Run one plant-side create, bounded by ``create_deadline_s``.
+
+        Without a deadline this is exactly the seed's direct transport
+        call.  With one, the call runs as a child process raced
+        against a timer; on expiry the child is interrupted (its
+        unwinding releases plant-side state synchronously) and
+        :class:`DeadlineExceeded` is raised.
+        """
+        deadline = self.recovery.create_deadline_s
+        handler = lambda b=bid: b.bidder.create(  # noqa: E731
+            request, vmid, clone_mode
+        )
+        if deadline is None:
+            ad = yield from self.transport.call(handler)
+            return ad
+        proc = self.env.process(self.transport.call(handler))
+        yield self.env.any_of([proc, self.env.timeout(deadline)])
+        if proc.triggered:
+            if not proc.ok:
+                proc.defused = True
+                raise proc.value
+            return proc.value
+        trace(
+            self.env, "shop", "create-deadline",
+            vmid=vmid, plant=bid.bidder_name, deadline=deadline,
+        )
+        proc.interrupt("create deadline")
+        # Let the interrupt unwind the plant-side generator chain (it
+        # releases memory / leases in its except blocks) before the
+        # caller inspects or reuses that state.
+        yield self.env.timeout(0.0)
+        raise DeadlineExceeded(
+            f"create of {vmid} on {bid.bidder_name} exceeded "
+            f"{deadline:g}s deadline"
+        )
 
     def estimate(self, request: CreateRequest) -> Generator:
         """Collect and return all bids without creating anything."""
@@ -193,11 +320,21 @@ class VMShop:
         commit: bool = False,
         publish_as: Optional[str] = None,
     ) -> Generator:
-        """Collect a VM; returns its final classad."""
+        """Collect a VM; returns its final classad.
+
+        A destroy that fails because the plant no longer knows the VM
+        (crash-killed underneath the shop) still drops the stale route
+        before re-raising, so the id cannot be "destroyed" twice.
+        """
         plant = self._plant_for(vmid)
-        ad = yield from self.transport.call(
-            lambda: plant.destroy(vmid, commit, publish_as)
-        )
+        try:
+            ad = yield from self.transport.call(
+                lambda: plant.destroy(vmid, commit, publish_as)
+            )
+        except ReproError:
+            self._route.pop(vmid, None)
+            self._cache.pop(vmid, None)
+            raise
         del self._route[vmid]
         self._cache.pop(vmid, None)
         return ad

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.cost.models import CostModel, MemoryAvailableCost
+from repro.faults.recovery import RecoveryPolicy
 from repro.plant.vmplant import VMPlant
 from repro.provisioning import ProvisioningConfig
 from repro.plant.warehouse import GoldenImage, VMWarehouse
@@ -106,6 +107,7 @@ def build_testbed(
     retry_other_plants: bool = False,
     nfs_replicas: int = 1,
     provisioning: Optional[ProvisioningConfig] = None,
+    recovery: Optional["RecoveryPolicy"] = None,
 ) -> Testbed:
     """Assemble the simulated site.
 
@@ -114,7 +116,9 @@ def build_testbed(
     study) and the cost model (Section 3.4 illustration).
     ``provisioning`` switches on the throughput layer (host-side
     golden-state caches, transfer coalescing, speculative pools);
-    omitted or defaulted it changes nothing.
+    omitted or defaulted it changes nothing.  ``recovery`` configures
+    the shop's fault-recovery ladder (deadlines, backoff re-bids,
+    plant quarantine); omitted, every knob is off.
     """
     if n_plants <= 0:
         raise ValueError("n_plants must be positive")
@@ -155,6 +159,7 @@ def build_testbed(
         rng=rng,
         registry=registry,
         retry_other_plants=retry_other_plants,
+        recovery=recovery,
     )
 
     hosts: List[PhysicalHost] = []

@@ -92,6 +92,14 @@ class HostStateCache:
         self.used_mb += size_mb
         return True
 
+    def clear(self) -> int:
+        """Drop every cached entry (host crash: local disk state is
+        gone); returns how many entries were invalidated."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        self.used_mb = 0.0
+        return dropped
+
     def __repr__(self) -> str:
         return (
             f"<HostStateCache {self.used_mb:.0f}/{self.capacity_mb:.0f}MB"
@@ -127,6 +135,21 @@ class PhysicalHost:
         #: Guest memory of admitted VMs (MB), excluding overheads.
         self.committed_guest_mb = 0.0
         self.vm_count = 0
+        #: Crash state (fault injection): production stages abort
+        #: while the host is down.
+        self.down = False
+        self.crashes = 0
+
+    # -- fault injection -----------------------------------------------------
+    def crash(self) -> None:
+        """Mark the node as crashed (resident VMs die with it)."""
+        if not self.down:
+            self.down = True
+            self.crashes += 1
+
+    def restore(self) -> None:
+        """Bring the node back after a crash."""
+        self.down = False
 
     # -- memory accounting ---------------------------------------------------
     def admit_vm(self, guest_mb: float) -> None:

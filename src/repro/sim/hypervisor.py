@@ -119,6 +119,12 @@ class _SimLine(ProductionLine):
         self.coalesce_transfers = coalesce_transfers
         self._cached_images: set = set()
         self.clone_records: List[CloneRecord] = []
+        #: vmid → guest MB admitted but not yet running (in-flight
+        #: clones); lets :meth:`abort` release exactly once.
+        self._admitted: Dict[str, float] = {}
+        #: Guest-daemon hang fault: actions starting before this
+        #: simulated time stall until it passes (0 = no hang).
+        self.hang_until = 0.0
 
     # -- helpers ----------------------------------------------------------
     def _jitter(self, stream: str, sigma: Optional[float] = None) -> float:
@@ -126,6 +132,55 @@ class _SimLine(ProductionLine):
         return self.rng.lognormal(
             f"{self.host.name}/{self.vm_type}/{stream}", 0.0, sigma
         )
+
+    def _check_host(self) -> None:
+        """Abort the current production stage if the host has crashed."""
+        if self.host.down:
+            raise PlantError(
+                f"host {self.host.name} is down ({self.vm_type} line)"
+            )
+
+    # -- fault injection -----------------------------------------------------
+    def host_crashed(self) -> None:
+        """React to the host crashing: local disk state is gone."""
+        self.host.crash()
+        self._cached_images.clear()
+        if self.host.state_cache is not None:
+            self.host.state_cache.clear()
+        self.hang_until = 0.0
+
+    def host_recovered(self) -> None:
+        """React to the host coming back up."""
+        self.host.restore()
+
+    def abort(self, vm: VirtualMachine) -> bool:
+        """Synchronously release a VM's host memory (crash/abort path).
+
+        Idempotent: covers both a running backend and an in-flight
+        admission; returns True when memory was actually released.
+        """
+        backend: Optional[SimBackend] = vm.backend
+        if backend is not None and backend.running:
+            backend.running = False
+            self.host.release_vm(backend.guest_mb)
+            return True
+        admitted = self._admitted.pop(vm.vmid, None)
+        if admitted is not None:
+            self.host.release_vm(admitted)
+            return True
+        return False
+
+    def _admit(self, vm: VirtualMachine) -> None:
+        """Admit an in-flight clone's memory, tracked for abort."""
+        self._check_host()
+        self.host.admit_vm(vm.memory_mb)
+        self._admitted[vm.vmid] = vm.memory_mb
+
+    def _release_admitted(self, vm: VirtualMachine) -> None:
+        """Release a failed in-flight clone's memory (exactly once)."""
+        admitted = self._admitted.pop(vm.vmid, None)
+        if admitted is not None:
+            self.host.release_vm(admitted)
 
     def can_host(self, request: CreateRequest) -> bool:
         """Admit while committed memory stays under the overcommit cap."""
@@ -198,11 +253,13 @@ class _SimLine(ProductionLine):
         return self.env.now - start, source
 
     def _maybe_fail_clone(self, vm: VirtualMachine) -> None:
+        # Memory release on failure happens in the clone wrapper
+        # (one release path for injected faults, coin-flip failures
+        # and interrupts alike).
         draw = self.rng.uniform(
             f"{self.host.name}/{self.vm_type}/clone-fail", 0.0, 1.0
         )
         if draw < self.clone_failure_prob:
-            self.host.release_vm(vm.memory_mb)
             raise PlantError(
                 f"{self.vm_type} clone of {vm.vmid} failed to "
                 f"{'resume' if self.vm_type == 'vmware' else 'boot'}"
@@ -216,6 +273,11 @@ class _SimLine(ProductionLine):
         context: Dict[str, str],
     ) -> Generator:
         lat = self.latency
+        if self.hang_until > self.env.now:
+            # Guest-daemon hang fault: the action stalls until the
+            # hang window passes (zero events when no fault is set).
+            yield self.env.timeout(self.hang_until - self.env.now)
+        self._check_host()
         start = self.env.now
         if action.scope is ActionScope.HOST:
             # Host-side operation (virtual device setup etc.).
@@ -332,31 +394,37 @@ class VMwareLine(_SimLine):
         image = vm.image
         started = self.env.now
         before = self.host.vm_count
-        self.host.admit_vm(vm.memory_mb)
+        self._admit(vm)
 
-        copy_time, copy_source = yield from self._copy_clone_state(
-            image, mode
-        )
+        try:
+            copy_time, copy_source = yield from self._copy_clone_state(
+                image, mode
+            )
 
-        lat = self.latency
-        yield self.env.timeout(
-            lat.vmware_clone_fixed_s * self._jitter("clone-fixed")
-        )
+            lat = self.latency
+            yield self.env.timeout(
+                lat.vmware_clone_fixed_s * self._jitter("clone-fixed")
+            )
 
-        # Resume the suspended clone: GSX re-reads the memory image,
-        # slowed by host memory pressure.
-        pressure = self.host.pressure_factor()
-        resume_start = self.env.now
-        resume_base = (
-            lat.vmware_resume_fixed_s
-            + image.memory_state_mb / lat.vmware_resume_mbps
-        )
-        yield self.env.timeout(
-            resume_base * pressure * self._jitter("resume")
-        )
-        self._maybe_fail_clone(vm)
+            # Resume the suspended clone: GSX re-reads the memory image,
+            # slowed by host memory pressure.
+            pressure = self.host.pressure_factor()
+            resume_start = self.env.now
+            resume_base = (
+                lat.vmware_resume_fixed_s
+                + image.memory_state_mb / lat.vmware_resume_mbps
+            )
+            yield self.env.timeout(
+                resume_base * pressure * self._jitter("resume")
+            )
+            self._check_host()
+            self._maybe_fail_clone(vm)
+        except BaseException:
+            self._release_admitted(vm)
+            raise
         resume_time = self.env.now - resume_start
 
+        self._admitted.pop(vm.vmid, None)
         vm.backend = SimBackend(
             host=self.host, guest_mb=vm.memory_mb, running=True
         )
@@ -393,36 +461,42 @@ class UMLLine(_SimLine):
         image = vm.image
         started = self.env.now
         before = self.host.vm_count
-        self.host.admit_vm(vm.memory_mb)
+        self._admit(vm)
 
-        copy_time, copy_source = yield from self._copy_clone_state(
-            image, mode
-        )
-        lat = self.latency
-        yield self.env.timeout(
-            lat.uml_cow_setup_s * self._jitter("cow-setup")
-        )
+        try:
+            copy_time, copy_source = yield from self._copy_clone_state(
+                image, mode
+            )
+            lat = self.latency
+            yield self.env.timeout(
+                lat.uml_cow_setup_s * self._jitter("cow-setup")
+            )
 
-        # With an SBUML snapshot (memory state present) the clone
-        # resumes from checkpoint; otherwise it boots from the CoW
-        # file system — the dominant cost in the prototype.
-        pressure = self.host.pressure_factor()
-        boot_start = self.env.now
-        if image.memory_state_mb > 0:
-            resume_base = (
-                lat.uml_resume_fixed_s
-                + image.memory_state_mb / lat.uml_resume_mbps
-            )
-            yield self.env.timeout(
-                resume_base * pressure * self._jitter("sbuml-resume")
-            )
-        else:
-            yield self.env.timeout(
-                lat.uml_boot_fixed_s * pressure * self._jitter("boot")
-            )
-        self._maybe_fail_clone(vm)
+            # With an SBUML snapshot (memory state present) the clone
+            # resumes from checkpoint; otherwise it boots from the CoW
+            # file system — the dominant cost in the prototype.
+            pressure = self.host.pressure_factor()
+            boot_start = self.env.now
+            if image.memory_state_mb > 0:
+                resume_base = (
+                    lat.uml_resume_fixed_s
+                    + image.memory_state_mb / lat.uml_resume_mbps
+                )
+                yield self.env.timeout(
+                    resume_base * pressure * self._jitter("sbuml-resume")
+                )
+            else:
+                yield self.env.timeout(
+                    lat.uml_boot_fixed_s * pressure * self._jitter("boot")
+                )
+            self._check_host()
+            self._maybe_fail_clone(vm)
+        except BaseException:
+            self._release_admitted(vm)
+            raise
         boot_time = self.env.now - boot_start
 
+        self._admitted.pop(vm.vmid, None)
         vm.backend = SimBackend(
             host=self.host, guest_mb=vm.memory_mb, running=True
         )

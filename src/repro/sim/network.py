@@ -10,7 +10,7 @@ is exact for piecewise-constant populations.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, Optional
+from typing import Callable, Dict, Generator, Optional
 
 from repro.sim.kernel import Environment, Event
 
@@ -51,6 +51,8 @@ class FairShareLink:
         self._flows: Dict[int, _Flow] = {}
         self._next_id = 0
         self._last_update = env.now
+        #: While paused (partition fault) flows make zero progress.
+        self._paused = False
         self._timer_gen = 0
         #: Absolute fire time of the valid pending timer (None if idle).
         self._timer_deadline: Optional[float] = None
@@ -79,6 +81,64 @@ class FairShareLink:
     def transfer_proc(self, size_mb: float) -> Generator:
         """Generator form for ``yield from`` composition."""
         yield self.transfer(size_mb)
+
+    @property
+    def paused(self) -> bool:
+        """True while the link is partitioned (flows frozen)."""
+        return self._paused
+
+    def set_bandwidth(self, mbps: float) -> None:
+        """Change the link rate; in-flight flows keep their progress.
+
+        Used by the fault injector to degrade (and later restore) the
+        link: flows are drained at the old rate up to *now*, then the
+        completion timer is re-armed at the new rate.
+        """
+        if mbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self._drain()
+        self.bandwidth_mbps = mbps
+        if self._flows and not self._paused:
+            self._timer_gen += 1
+            self._timer_deadline = None
+            self._reschedule()
+
+    def pause(self) -> None:
+        """Partition the link: in-flight flows freeze in place."""
+        if self._paused:
+            return
+        self._drain()
+        self._paused = True
+        self._timer_gen += 1
+        self._timer_deadline = None
+
+    def resume(self) -> None:
+        """Heal a partition: frozen flows resume from where they were."""
+        if not self._paused:
+            return
+        self._paused = False
+        self._last_update = self.env.now
+        self._reschedule()
+
+    def abort_flows(
+        self, exc_factory: Callable[[], BaseException]
+    ) -> int:
+        """Fail every in-flight flow (outage semantics); returns count.
+
+        Each flow's completion event fails with a fresh exception from
+        ``exc_factory`` — waiters see it as an aborted transfer.
+        """
+        self._drain()
+        flows = list(self._flows.values())
+        self._flows.clear()
+        self._timer_gen += 1
+        self._timer_deadline = None
+        if self._busy_since is not None:
+            self.busy_time += self.env.now - self._busy_since
+            self._busy_since = None
+        for flow in flows:
+            flow.event.fail(exc_factory())
+        return len(flows)
 
     def utilization(self) -> float:
         """Fraction of elapsed time the link was busy."""
@@ -114,7 +174,7 @@ class FairShareLink:
         now = self.env.now
         elapsed = now - self._last_update
         self._last_update = now
-        if not self._flows or elapsed <= 0:
+        if not self._flows or elapsed <= 0 or self._paused:
             return
         rate = self._rate()
         for flow in self._flows.values():
@@ -141,8 +201,9 @@ class FairShareLink:
         instead of being superseded, so a burst of same-instant
         arrivals costs one timer, not one per arrival.
         """
-        if not self._flows:
-            # Invalidate any pending timer; the link went idle.
+        if not self._flows or self._paused:
+            # Invalidate any pending timer; the link went idle (or is
+            # partitioned — resume() re-arms it).
             self._timer_gen += 1
             self._timer_deadline = None
             return

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Generator, Hashable, Optional
 
+from repro.core.errors import StorageError
 from repro.sim.host import PhysicalHost
 from repro.sim.kernel import Environment, Event
 from repro.sim.latency import DEFAULT_LATENCY, LatencyModel
@@ -25,11 +26,13 @@ __all__ = [
 
 
 class _InflightTransfer:
-    __slots__ = ("done", "followers")
+    __slots__ = ("done", "followers", "error")
 
     def __init__(self, done: Event):
         self.done = done
         self.followers = 0
+        #: The leader's failure, if any — followers fail with it.
+        self.error: Optional[BaseException] = None
 
 
 class TransferCoalescer:
@@ -73,6 +76,13 @@ class TransferCoalescer:
             self.requests_coalesced += 1
             self.mb_saved += size_mb
             yield entry.done
+            if entry.error is not None:
+                # The leader's transfer never landed: every coalesced
+                # follower fails with it (there are no bytes to copy).
+                raise StorageError(
+                    f"coalesced transfer failed with its leader: "
+                    f"{entry.error}"
+                ) from entry.error
             # The leader's bytes are on this host's disk already:
             # replicate them locally, off the shared link.
             yield from host.disk_read(size_mb)
@@ -84,8 +94,14 @@ class TransferCoalescer:
             yield from storage.copy_to_host(
                 size_mb, host, files=files, pressured=pressured
             )
+        except BaseException as exc:
+            entry.error = exc
+            raise
         finally:
             del self._inflight[key]
+            # Followers always wake through `done` and check `error`;
+            # failing the event instead would blow up in the kernel if
+            # a follower had already been interrupted away.
             entry.done.succeed()
         return "nfs"
 
@@ -111,6 +127,62 @@ class NFSServer:
         self.requests_served = 0
         self.mb_served = 0.0
         self.coalescer = TransferCoalescer(env)
+        #: Active outage mode: None (healthy), "abort" or "stall".
+        self.outage_mode: Optional[str] = None
+        self._outage_cleared: Optional[Event] = None
+        self.outages = 0
+        self.aborted_transfers = 0
+
+    # -- fault injection -----------------------------------------------------
+    def begin_outage(self, mode: str = "stall") -> bool:
+        """Take the warehouse path down.
+
+        ``"abort"`` fails every in-flight transfer and rejects new
+        operations immediately; ``"stall"`` freezes in-flight flows
+        and parks new operations until :meth:`end_outage`.  Returns
+        False when an outage is already active (overlap is ignored).
+        """
+        if mode not in ("abort", "stall"):
+            raise ValueError(f"unknown outage mode {mode!r}")
+        if self.outage_mode is not None:
+            return False
+        self.outage_mode = mode
+        self.outages += 1
+        self._outage_cleared = self.env.event()
+        if mode == "stall":
+            self.link.pause()
+        else:
+            self.aborted_transfers += self.link.abort_flows(
+                lambda: StorageError(
+                    f"{self.name}: transfer aborted by warehouse outage"
+                )
+            )
+        return True
+
+    def end_outage(self) -> None:
+        """Bring the warehouse path back; stalled callers resume."""
+        if self.outage_mode is None:
+            return
+        if self.outage_mode == "stall":
+            self.link.resume()
+        self.outage_mode = None
+        cleared = self._outage_cleared
+        self._outage_cleared = None
+        if cleared is not None:
+            cleared.succeed()
+
+    def _outage_gate(self) -> Generator:
+        """Reject (abort) or park (stall) an operation during an outage.
+
+        Zero-yield when healthy, so the default trajectory is
+        untouched.
+        """
+        while self.outage_mode is not None:
+            if self.outage_mode == "abort":
+                raise StorageError(
+                    f"{self.name}: warehouse unavailable (outage)"
+                )
+            yield self._outage_cleared
 
     def _overhead(self) -> float:
         base = self.latency.nfs_request_overhead_s
@@ -119,6 +191,7 @@ class NFSServer:
 
     def read_file(self, size_mb: float) -> Generator:
         """Serve one file read: request overhead + shared transfer."""
+        yield from self._outage_gate()
         yield self.env.timeout(self._overhead())
         yield self.link.transfer(size_mb)
         self.requests_served += 1
@@ -139,6 +212,7 @@ class NFSServer:
         which is what makes memory pressure visible even though the
         NFS link is nominally the bottleneck.
         """
+        yield from self._outage_gate()
         start = self.env.now
         for _ in range(max(1, files)):
             yield self.env.timeout(self._overhead())
@@ -205,6 +279,23 @@ class ReplicatedWarehouseStorage:
             self.replicas,
             key=lambda r: (self._inflight[id(r)], r.link.active_flows),
         )
+
+    def begin_outage(self, mode: str = "stall") -> bool:
+        """Take every replica down (site-wide warehouse outage)."""
+        changed = False
+        for replica in self.replicas:
+            changed = replica.begin_outage(mode) or changed
+        return changed
+
+    def end_outage(self) -> None:
+        """Bring every replica back."""
+        for replica in self.replicas:
+            replica.end_outage()
+
+    @property
+    def outage_mode(self) -> Optional[str]:
+        """The replicas' common outage mode (first replica's view)."""
+        return self.replicas[0].outage_mode
 
     @property
     def requests_served(self) -> int:

@@ -184,11 +184,15 @@ class HostOnlyNetworkPool:
         net.attached.add(new_vmid)
         self.version += 1
 
-    def detach(self, vmid: str) -> None:
-        """Detach a collected VM, possibly freeing the switch."""
+    def detach(self, vmid: str) -> bool:
+        """Detach a collected VM, possibly freeing the switch.
+
+        Returns True when a lease was actually released (idempotent:
+        unknown vmids are a no-op returning False).
+        """
         network_id = self._vm_network.pop(vmid, None)
         if network_id is None:
-            return
+            return False
         ip = self._vm_ip.pop(vmid)
         net = next(n for n in self.networks if n.network_id == network_id)
         net.attached.discard(vmid)
@@ -201,6 +205,11 @@ class HostOnlyNetworkPool:
         ):
             del self._by_domain[net.domain]
             net.domain = None
+        return True
+
+    def attached_count(self) -> int:
+        """VMs currently holding a lease (leak auditing)."""
+        return len(self._vm_network)
 
     def check_isolation(self) -> None:
         """Assert the cross-domain isolation invariant (for tests)."""

@@ -17,6 +17,7 @@ Subcommands map one-to-one to the experiment drivers::
     vmplants resilience
     vmplants replicas
     vmplants loadtest [--requests N] [--rates R ...]
+    vmplants kernelbench [--sites N] [--shards S ...]
     vmplants chaos [--mtbf S ...] [--report PATH] [--replay PATH]
     vmplants all                  # everything, in order
 """
@@ -127,6 +128,23 @@ def _loadtest(args) -> str:
         rates=tuple(args.rates),
         cache_mb=args.cache_mb,
     ).render()
+
+
+def _kernelbench(args) -> str:
+    import json
+
+    from repro.experiments.kernelbench import run_kernelbench
+
+    result = run_kernelbench(
+        seed=args.seed,
+        sites=args.sites,
+        shard_counts=tuple(args.shards),
+        requests_per_site=args.requests_per_site,
+    )
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(result.to_record(), fh, indent=2, sort_keys=True)
+    return result.render()
 
 
 def _chaos(args) -> str:
@@ -278,6 +296,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-host golden-state cache budget",
     )
     loadtest.set_defaults(runner=_loadtest)
+
+    # Not part of ``all``: throughput columns are host wall-clock /
+    # CPU-time, while ``all`` stays deterministic per seed.
+    kernelbench = sub.add_parser(
+        "kernelbench",
+        help=(
+            "sharded-kernel throughput sweep with merged-trace "
+            "determinism cross-check"
+        ),
+    )
+    kernelbench.add_argument("--seed", type=int, default=2004)
+    kernelbench.add_argument(
+        "--sites",
+        type=int,
+        default=8,
+        help="independent testbed sites on the WAN ring",
+    )
+    kernelbench.add_argument(
+        "--shards",
+        type=int,
+        nargs="+",
+        default=[1, 4, 8],
+        help="shard counts to sweep (must include 1)",
+    )
+    kernelbench.add_argument(
+        "--requests-per-site",
+        type=int,
+        default=160,
+        help="VM creation requests per site per sweep point",
+    )
+    kernelbench.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="write the JSON record (points, speedups, fingerprint)",
+    )
+    kernelbench.set_defaults(runner=_kernelbench)
 
     # Not part of ``all``: fault-injection policy-ladder sweep (see
     # DESIGN.md, "Fault model & recovery").

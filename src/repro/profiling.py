@@ -1,0 +1,59 @@
+"""Opt-in cProfile hooks for kernel hot-path triage.
+
+Setting ``REPRO_PROFILE=1`` in the environment makes the shard
+runner (and anything else that wraps its hot loop in
+:func:`maybe_profile`) dump a per-shard cProfile stats file next to
+the experiment results::
+
+    REPRO_PROFILE=1 PYTHONPATH=src python -m repro kernelbench ...
+    python -m pstats benchmarks/results/profile_shard0.pstats
+
+Each shard worker profiles its own event loop, so a 4-shard run
+leaves ``profile_shard0.pstats`` .. ``profile_shard3.pstats`` — the
+per-shard view is exactly what kernel hot-path triage needs (sync
+overhead shows up as ``select``/``os.read`` time, simulation work as
+kernel/step frames).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+__all__ = ["PROFILE_ENV", "profiling_enabled", "maybe_profile"]
+
+#: Environment flag switching the profile dumps on.
+PROFILE_ENV = "REPRO_PROFILE"
+
+
+def profiling_enabled() -> bool:
+    """True when ``REPRO_PROFILE`` is set to a non-empty, non-zero value."""
+    return os.environ.get(PROFILE_ENV, "") not in ("", "0")
+
+
+@contextmanager
+def maybe_profile(
+    out_path: Optional[Union[str, Path]],
+) -> Iterator[None]:
+    """Profile the enclosed block into ``out_path`` when enabled.
+
+    A no-op unless :func:`profiling_enabled` and ``out_path`` is set;
+    parent directories are created as needed and the dump is written
+    even if the block raises, so a crashed shard still leaves its
+    profile behind.
+    """
+    if out_path is None or not profiling_enabled():
+        yield
+        return
+    path = Path(out_path)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        profiler.dump_stats(str(path))

@@ -108,7 +108,10 @@ def build_testbed(
     nfs_replicas: int = 1,
     provisioning: Optional[ProvisioningConfig] = None,
     recovery: Optional["RecoveryPolicy"] = None,
-) -> Testbed:
+    env: Optional[Environment] = None,
+    sites: int = 1,
+    shards: int = 1,
+):
     """Assemble the simulated site.
 
     The default arguments reproduce the paper's setup; experiments
@@ -119,11 +122,35 @@ def build_testbed(
     omitted or defaulted it changes nothing.  ``recovery`` configures
     the shop's fault-recovery ladder (deadlines, backoff re-bids,
     plant quarantine); omitted, every knob is off.
+
+    ``env`` lets a caller supply the environment the site lives in —
+    the shard runner uses this to place each site in its own kernel.
+    ``sites``/``shards`` switch to *sharded* mode: with either above
+    1, no testbed is built here; instead a
+    :class:`~repro.sim.shard.plan.ShardedTestbed` plan is returned
+    describing ``sites`` independent copies of this testbed, packed
+    into ``shards`` worker processes (see ``repro.sim.shard``).  The
+    classic single-site path is untouched when both are 1.
     """
+    if sites != 1 or shards != 1:
+        from repro.sim.shard.plan import ShardedTestbed
+
+        if env is not None:
+            raise ValueError(
+                "env= cannot be combined with sites/shards; the shard "
+                "runner creates one environment per site"
+            )
+        return ShardedTestbed(
+            seed=seed,
+            sites=sites,
+            shards=shards,
+            params={"plants": n_plants},
+        )
     if n_plants <= 0:
         raise ValueError("n_plants must be positive")
     prov = provisioning or ProvisioningConfig()
-    env = Environment()
+    if env is None:
+        env = Environment()
     rng = RngHub(seed)
     registry = ServiceRegistry()
     vnet = VirtualNetworkService()

@@ -171,6 +171,32 @@ class Timeout(Event):
         return f"<Timeout delay={self.delay}>"
 
 
+class _PooledTimeout(Event):
+    """A recycled timer event for :meth:`Environment.call_later`.
+
+    Never handed to user code: after its callbacks run the instance
+    is reset and returned to the environment's free list, so hot
+    timer paths (e.g. :class:`~repro.sim.network.FairShareLink`
+    completion timers) stop allocating one event per re-arm.
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks = None
+        self.defused = False
+        self.delay = 0.0
+        self._ok = True
+        self._value = None
+
+    def _release(self, _event: Event) -> None:
+        self.env._timeout_pool.append(self)
+
+    def __repr__(self) -> str:
+        return f"<_PooledTimeout delay={self.delay}>"
+
+
 class Initialize(Event):
     """Internal event that starts a freshly created process."""
 
@@ -386,7 +412,14 @@ class EmptySchedule(Exception):
 class Environment:
     """Execution environment: clock plus the pending-event queue."""
 
-    __slots__ = ("_now", "_queue", "_eid", "_active_proc", "tracer")
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_eid",
+        "_active_proc",
+        "tracer",
+        "_timeout_pool",
+    )
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
@@ -395,6 +428,8 @@ class Environment:
         self._active_proc: Optional[Process] = None
         #: Optional structured tracer (see :mod:`repro.sim.trace`).
         self.tracer = None
+        #: Free list of recycled :class:`_PooledTimeout` instances.
+        self._timeout_pool: List[_PooledTimeout] = []
 
     @property
     def now(self) -> float:
@@ -414,6 +449,26 @@ class Environment:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event firing after ``delay`` time units."""
         return Timeout(self, delay, value)
+
+    def call_later(
+        self, delay: float, fn: Callable[[Event], None]
+    ) -> None:
+        """Invoke ``fn`` after ``delay`` using a pooled timer event.
+
+        Equivalent to appending ``fn`` to a fresh ``timeout(delay)``
+        — one ``schedule()`` call, normal priority, so the event
+        trajectory is bit-identical — but the underlying event object
+        is recycled through a free list instead of allocated anew.
+        The event is internal: ``fn`` receives it but must not retain
+        it past the callback.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        pool = self._timeout_pool
+        ev = pool.pop() if pool else _PooledTimeout(self)
+        ev.delay = delay
+        ev.callbacks = [fn, ev._release]
+        self.schedule(ev, delay=delay)
 
     def process(self, generator: Generator) -> Process:
         """Start a new process running ``generator``."""
@@ -442,13 +497,24 @@ class Environment:
         """Time of the next scheduled event, or ``inf`` when idle."""
         return self._queue[0][0] if self._queue else float("inf")
 
+    def advance_clock(self, time: float) -> None:
+        """Advance the clock to ``time`` without processing an event.
+
+        Used by the shard runner to deliver boundary messages at their
+        exact timestamp and to land precisely on a ``run(until=...)``
+        horizon.  Rewinding is kernel misuse.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot rewind clock from {self._now} to {time}"
+            )
+        self._now = time
+
     def step(self) -> None:
         """Process exactly one event (advancing the clock to it)."""
         if not self._queue:
             raise EmptySchedule()
-        entry = _heappop(self._queue)
-        self._now = entry[0]
-        event = entry[3]
+        self._now, _, _, event = _heappop(self._queue)
         callbacks = event.callbacks
         event.callbacks = None
         if callbacks:
@@ -458,12 +524,40 @@ class Environment:
             # An un-waited-for failure must not pass silently.
             raise event._value
 
+    def run_below(self, limit: float) -> float:
+        """Process every event with time *strictly below* ``limit``.
+
+        The conservative-sync primitive: a shard may only execute
+        events below its lookahead horizon, and an event *at* the
+        horizon must wait (a boundary message could still arrive
+        exactly then).  The clock is left at the last processed event;
+        returns the time of the next pending event (``inf`` if none).
+        """
+        queue = self._queue
+        pop = _heappop
+        while queue and queue[0][0] < limit:
+            self._now, _, _, event = pop(queue)
+            callbacks = event.callbacks
+            event.callbacks = None
+            if callbacks:
+                for callback in callbacks:
+                    callback(event)
+            if event._ok is False and not event.defused:
+                raise event._value
+        return queue[0][0] if queue else float("inf")
+
     def run(self, until: Any = None) -> Any:
         """Run the simulation.
 
         ``until`` may be ``None`` (run until no events remain), a number
         (run until that simulation time), or an :class:`Event` (run
         until it fires, returning its value).
+
+        With a numeric ``until`` the run is *exact at the boundary*:
+        every event scheduled at exactly that time is processed (in
+        priority/eid order, like any other time step) and the clock
+        always ends at ``until`` — including when the queue drains
+        early.
         """
         stop_at: Optional[float] = None
         stop_event: Optional[Event] = None
@@ -483,28 +577,50 @@ class Environment:
             stop_event.callbacks.append(_defuse)
 
         # Three specialized loops keep the per-event overhead of the
-        # common cases (run-to-exhaustion, run-until-event) minimal.
-        step = self.step
+        # common cases minimal: the step body is inlined so each event
+        # costs one heap pop and one tuple unpack, no method call.
         queue = self._queue
+        pop = _heappop
         if stop_event is not None:
             while stop_event.callbacks is not None:
                 if not queue:
                     raise SimulationError(
                         "run(until=event): queue empty before event fired"
                     )
-                step()
+                self._now, _, _, event = pop(queue)
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks:
+                    for callback in callbacks:
+                        callback(event)
+                if event._ok is False and not event.defused:
+                    raise event._value
             if not stop_event._ok:
                 raise stop_event._value
             return stop_event._value
         if stop_at is None:
             while queue:
-                step()
+                self._now, _, _, event = pop(queue)
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks:
+                    for callback in callbacks:
+                        callback(event)
+                if event._ok is False and not event.defused:
+                    raise event._value
             return None
-        while queue:
-            if queue[0][0] > stop_at:
-                self._now = stop_at
-                break
-            step()
+        while queue and queue[0][0] <= stop_at:
+            self._now, _, _, event = pop(queue)
+            callbacks = event.callbacks
+            event.callbacks = None
+            if callbacks:
+                for callback in callbacks:
+                    callback(event)
+            if event._ok is False and not event.defused:
+                raise event._value
+        # Exact at the boundary: the clock lands on ``until`` whether
+        # the queue drained early or the next event lies beyond it.
+        self._now = stop_at
         return None
 
     def __repr__(self) -> str:

@@ -14,7 +14,7 @@ from typing import Callable, Dict, Generator, Optional
 
 from repro.sim.kernel import Environment, Event
 
-__all__ = ["FairShareLink"]
+__all__ = ["FairShareLink", "BoundaryLink"]
 
 
 class _Flow:
@@ -214,9 +214,11 @@ class FairShareLink:
         self._timer_gen += 1
         gen = self._timer_gen
         self._timer_deadline = deadline
-        timeout = self.env.timeout(deadline - self.env.now)
-        timeout.callbacks.append(
-            lambda _ev, gen=gen: self._on_timer(gen)
+        # Pooled timer: same single schedule() as a Timeout (so the
+        # trajectory is bit-identical) without the per-re-arm alloc.
+        self.env.call_later(
+            deadline - self.env.now,
+            lambda _ev, gen=gen: self._on_timer(gen),
         )
 
     def _on_timer(self, gen: int) -> None:
@@ -231,4 +233,86 @@ class FairShareLink:
         return (
             f"<FairShareLink {self.name} {self.bandwidth_mbps}MB/s"
             f" flows={len(self._flows)}>"
+        )
+
+
+class BoundaryLink(FairShareLink):
+    """An inter-site link whose deliveries cross a shard boundary.
+
+    The send side is an ordinary fair-shared link living in the
+    *source* site's environment: concurrent sends share
+    ``bandwidth_mbps``.  When a send's last byte clears the link, the
+    message is *staged* into an outbox — a batched, struct-packed
+    event ring when the destination site runs in another worker
+    process, or the destination's in-process inbox when it does not —
+    and is delivered to the destination endpoint exactly
+    ``latency_s`` later.
+
+    ``latency_s`` is the link's propagation delay **and** the
+    conservative-sync lookahead: the destination shard may safely
+    simulate up to (source clock + latency) because no message can
+    arrive earlier.  A zero latency would force the shards into
+    lockstep, so it is rejected outright.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        bandwidth_mbps: float,
+        latency_s: float,
+        src_site: int,
+        dst_site: int,
+        endpoint: int,
+        outbox,
+    ):
+        if src_site == dst_site:
+            raise ValueError(
+                f"boundary link {name!r} connects site {src_site} to "
+                f"itself; use a FairShareLink for intra-site traffic"
+            )
+        if latency_s <= 0:
+            raise ValueError(
+                f"boundary link {name!r} ({src_site}->{dst_site}) has "
+                f"zero lookahead: conservative parallel sync requires "
+                f"a positive inter-site latency_s (got {latency_s})"
+            )
+        super().__init__(env, name, bandwidth_mbps, latency_s=0.0)
+        self.latency_s = latency_s
+        self.src_site = src_site
+        self.dst_site = dst_site
+        self.endpoint = endpoint
+        #: Staging target; duck-typed — see ``repro.sim.shard.ring``.
+        self.outbox = outbox
+
+    def send(self, payload: tuple = (), size_mb: float = 0.0) -> Event:
+        """Send ``payload`` (up to 4 numbers) across the boundary.
+
+        The returned event fires in the *source* environment when the
+        message has fully cleared the shared link; the destination
+        endpoint fires ``latency_s`` later in its own environment.
+        """
+        if len(payload) > 4:
+            raise ValueError(
+                "boundary payloads are at most 4 numeric fields"
+            )
+        values = tuple(float(v) for v in payload)
+        done = self.env.event()
+        done.callbacks.append(lambda _ev: self._stage(values))
+        self._start_flow(size_mb, done)
+        return done
+
+    def _stage(self, payload: tuple) -> None:
+        self.outbox.emit(
+            dst_site=self.dst_site,
+            deliver_time=self.env.now + self.latency_s,
+            src_site=self.src_site,
+            endpoint=self.endpoint,
+            payload=payload,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<BoundaryLink {self.name} site{self.src_site}->"
+            f"site{self.dst_site} lookahead={self.latency_s}s>"
         )

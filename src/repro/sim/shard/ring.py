@@ -1,0 +1,340 @@
+"""Batched, pickle-free event rings between kernel shards.
+
+Cross-shard boundary messages travel as fixed-size struct-packed
+records over one unidirectional OS pipe per directed shard pair — no
+pickling on the hot path.  Each record carries:
+
+* ``kind`` — ``MSG`` (a boundary delivery) or ``NULL`` (a pure
+  lookahead promise, the conservative-sync "null message");
+* routing — source site, destination site, endpoint id, a
+  per-channel sequence number;
+* ``deliver_time`` — the simulation time the destination endpoint
+  fires;
+* ``promise`` — the sender's guarantee that no *future* record on
+  this channel will deliver earlier than this time (its clock floor
+  plus the channel lookahead);
+* up to four float payload fields.
+
+The same staging interface exists in-process: when source and
+destination sites run in the same worker, :class:`LocalOutbox`
+pushes records straight into the destination's :class:`SiteInbox`
+with identical (src_site, seq) ordering metadata — which is what
+makes N-shard runs trace-identical to single-shard runs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import struct
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "RECORD",
+    "KIND_NULL",
+    "KIND_MSG",
+    "SiteInbox",
+    "LocalOutbox",
+    "RouterOutbox",
+    "RingOutbox",
+    "RingReader",
+    "BrokenShardError",
+]
+
+#: kind(u8)+pad, src_site, dst_site, endpoint, seq, deliver_time,
+#: promise, payload[4] — 72 bytes per record, little-endian.
+RECORD = struct.Struct("<Bxxxiiiqdddddd")
+
+KIND_NULL = 0
+KIND_MSG = 1
+
+#: Records buffered before an eager flush (batching amortizes the
+#: pipe write; a flush also always happens when the shard blocks).
+FLUSH_BATCH = 128
+
+Payload = Tuple[float, ...]
+
+
+def _pad4(payload: Payload) -> Tuple[float, float, float, float]:
+    vals = tuple(float(v) for v in payload)[:4]
+    return vals + (0.0,) * (4 - len(vals))
+
+
+class SiteInbox:
+    """Pending boundary deliveries for one destination site.
+
+    A heap ordered by ``(deliver_time, src_site, seq)`` — the
+    canonical cross-mode delivery order.  Two messages arriving at
+    the same instant are handled lower-source-site first, then in
+    channel sequence order, regardless of how (or when) the records
+    physically arrived.
+    """
+
+    __slots__ = ("_heap",)
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, int, int, Payload]] = []
+
+    def push(
+        self,
+        deliver_time: float,
+        src_site: int,
+        seq: int,
+        endpoint: int,
+        payload: Payload,
+    ) -> None:
+        heapq.heappush(
+            self._heap, (deliver_time, src_site, seq, endpoint, payload)
+        )
+
+    def peek_time(self) -> float:
+        """Earliest pending delivery time (``inf`` when empty)."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def pop_at(
+        self, time: float
+    ) -> List[Tuple[float, int, int, int, Payload]]:
+        """Remove and return every delivery at exactly ``time``."""
+        out = []
+        heap = self._heap
+        while heap and heap[0][0] == time:
+            out.append(heapq.heappop(heap))
+        return out
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class LocalOutbox:
+    """In-process staging: records land directly in site inboxes.
+
+    Sequence numbers are assigned per directed *site* pair in send
+    order — exactly the numbering :class:`RingOutbox` produces — so
+    delivery order is mode-independent.
+    """
+
+    __slots__ = ("inboxes", "_seq")
+
+    def __init__(self, inboxes: Dict[int, SiteInbox]):
+        self.inboxes = inboxes
+        self._seq: Dict[Tuple[int, int], int] = {}
+
+    def emit(
+        self,
+        dst_site: int,
+        deliver_time: float,
+        src_site: int,
+        endpoint: int,
+        payload: Payload,
+    ) -> None:
+        key = (src_site, dst_site)
+        seq = self._seq.get(key, 0)
+        self._seq[key] = seq + 1
+        self.inboxes[dst_site].push(
+            deliver_time, src_site, seq, endpoint, payload
+        )
+
+
+class RouterOutbox:
+    """Splits emissions between local inboxes and a cross-shard ring.
+
+    Worker processes stage boundary sends through one of these: a
+    destination site living in the same shard is delivered in-process
+    (same as :class:`LocalOutbox`), anything else is struct-packed
+    onto the ring for its shard.  Per-site-pair sequence numbering is
+    shared across both paths, keeping it identical to the
+    single-shard ordering.
+    """
+
+    __slots__ = ("inboxes", "ring", "partition", "shard", "_seq")
+
+    def __init__(
+        self,
+        inboxes: Dict[int, SiteInbox],
+        ring: "RingOutbox",
+        partition: Tuple[int, ...],
+        shard: int,
+    ):
+        self.inboxes = inboxes
+        self.ring = ring
+        self.partition = partition
+        self.shard = shard
+        self._seq: Dict[Tuple[int, int], int] = {}
+
+    def emit(
+        self,
+        dst_site: int,
+        deliver_time: float,
+        src_site: int,
+        endpoint: int,
+        payload: Payload,
+    ) -> None:
+        key = (src_site, dst_site)
+        seq = self._seq.get(key, 0)
+        self._seq[key] = seq + 1
+        if self.partition[dst_site] == self.shard:
+            self.inboxes[dst_site].push(
+                deliver_time, src_site, seq, endpoint, payload
+            )
+        else:
+            self.ring.pack(
+                self.partition[dst_site],
+                KIND_MSG,
+                src_site,
+                dst_site,
+                endpoint,
+                seq,
+                deliver_time,
+                payload,
+            )
+
+
+class RingOutbox:
+    """Write side of the per-destination-shard event rings."""
+
+    __slots__ = ("fds", "bufs", "sent")
+
+    def __init__(self, fds: Dict[int, int]):
+        #: dst shard -> pipe write fd
+        self.fds = fds
+        self.bufs: Dict[int, bytearray] = {s: bytearray() for s in fds}
+        #: dst shard -> delivered message count (nulls excluded).
+        self.sent: Dict[int, int] = {s: 0 for s in fds}
+
+    def pack(
+        self,
+        dst_shard: int,
+        kind: int,
+        src_site: int,
+        dst_site: int,
+        endpoint: int,
+        seq: int,
+        deliver_time: float,
+        payload: Payload,
+    ) -> None:
+        p0, p1, p2, p3 = _pad4(payload)
+        self.bufs[dst_shard] += RECORD.pack(
+            kind,
+            src_site,
+            dst_site,
+            endpoint,
+            seq,
+            deliver_time,
+            0.0,  # promise stamped at flush time
+            p0,
+            p1,
+            p2,
+            p3,
+        )
+        if kind == KIND_MSG:
+            self.sent[dst_shard] += 1
+        if len(self.bufs[dst_shard]) >= FLUSH_BATCH * RECORD.size:
+            # Oversized batches flush eagerly with a conservative
+            # promise of -inf (no guarantee); the next regular flush
+            # re-stamps the channel's real promise.
+            self._write(dst_shard, float("-inf"))
+
+    def flush(self, promise_for: Callable[[int], float]) -> None:
+        """Write out all buffered records, stamping channel promises.
+
+        ``promise_for(dst_shard)`` supplies the current lower bound on
+        this shard's future delivery times for that channel; it is
+        stamped into every buffered record (a record's promise covers
+        records *after* it, so the flush-time bound is valid for all
+        of them).  Channels with no buffered records are skipped —
+        null messages are sent separately via :meth:`send_null`.
+        """
+        for dst_shard, buf in self.bufs.items():
+            if buf:
+                self._write(dst_shard, promise_for(dst_shard))
+
+    def flush_channel(self, dst_shard: int, promise: float) -> bool:
+        """Flush one channel if it has buffered records; returns True if so."""
+        if not self.bufs[dst_shard]:
+            return False
+        self._write(dst_shard, promise)
+        return True
+
+    def send_null(self, dst_shard: int, promise: float) -> None:
+        """Send a pure lookahead promise on an idle channel."""
+        self.bufs[dst_shard] += RECORD.pack(
+            KIND_NULL, -1, -1, -1, 0, 0.0, promise, 0.0, 0.0, 0.0, 0.0
+        )
+        self._write(dst_shard, promise)
+
+    def _write(self, dst_shard: int, promise: float) -> None:
+        buf = self.bufs[dst_shard]
+        if promise != 0.0:
+            # Restamp the promise field of every buffered record.
+            for off in range(0, len(buf), RECORD.size):
+                struct.pack_into("<d", buf, off + 32, promise)
+        os.write(self.fds[dst_shard], bytes(buf))
+        buf.clear()
+
+
+class RingReader:
+    """Read side: decodes records from one source shard's ring."""
+
+    __slots__ = ("src_shard", "fd", "_buf", "promise", "received", "eof")
+
+    def __init__(self, src_shard: int, fd: int, initial_promise: float):
+        self.src_shard = src_shard
+        self.fd = fd
+        os.set_blocking(fd, False)
+        self._buf = bytearray()
+        #: No delivery from this shard will occur before this time.
+        self.promise = initial_promise
+        #: Delivered message count (nulls excluded).
+        self.received = 0
+        self.eof = False
+
+    def drain(self, inboxes: Dict[int, SiteInbox]) -> bool:
+        """Consume available bytes; route messages; update promise.
+
+        Returns True if anything (messages or promises) arrived.
+        Raises ``BrokenShardError`` on EOF — a peer died mid-run.
+        """
+        got = False
+        while True:
+            try:
+                chunk = os.read(self.fd, 1 << 16)
+            except BlockingIOError:
+                break
+            if not chunk:
+                self.eof = True
+                raise BrokenShardError(
+                    f"event ring from shard {self.src_shard} closed "
+                    f"mid-run (worker died?)"
+                )
+            self._buf += chunk
+            got = True
+        buf = self._buf
+        size = RECORD.size
+        usable = len(buf) - (len(buf) % size)
+        for off in range(0, usable, size):
+            (
+                kind,
+                src_site,
+                dst_site,
+                endpoint,
+                seq,
+                deliver_time,
+                promise,
+                p0,
+                p1,
+                p2,
+                p3,
+            ) = RECORD.unpack_from(buf, off)
+            if promise > self.promise:
+                self.promise = promise
+            if kind == KIND_MSG:
+                inboxes[dst_site].push(
+                    deliver_time, src_site, seq, endpoint, (p0, p1, p2, p3)
+                )
+                self.received += 1
+        del buf[:usable]
+        return got
+
+
+class BrokenShardError(RuntimeError):
+    """A peer shard's event ring closed unexpectedly."""

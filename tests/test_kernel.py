@@ -426,3 +426,139 @@ class TestRun:
             env.process(worker(env, name))
         env.run()
         assert log == ["a", "b", "c"]
+
+
+class TestUntilBoundary:
+    """Exact ``run(until=t)`` semantics (shared with shard mode)."""
+
+    def test_until_processes_events_at_horizon(self):
+        env = Environment()
+        log = []
+
+        def worker(env, name, delay):
+            yield env.timeout(delay)
+            log.append((env.now, name))
+
+        env.process(worker(env, "before", 4))
+        env.process(worker(env, "at", 5))
+        env.process(worker(env, "after", 6))
+        env.run(until=5.0)
+        assert log == [(4.0, "before"), (5.0, "at")]
+        assert env.now == 5.0
+
+    def test_until_ties_at_horizon_respect_priority_and_order(self):
+        env = Environment()
+        log = []
+
+        def sleeper(env, name):
+            yield env.timeout(5)
+            log.append(name)
+
+        def interrupter(env, victim):
+            yield env.timeout(5)
+            log.append("int")
+            victim.interrupt()
+
+        def victim_proc(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt:
+                log.append("victim-interrupted")
+
+        victim = env.process(victim_proc(env))
+        env.process(sleeper(env, "a"))
+        env.process(interrupter(env, victim))
+        env.process(sleeper(env, "b"))
+        env.run(until=5.0)
+        # Everything at t=5 ran: the urgent interrupt queued by "int"
+        # preempts the remaining normal-priority timeout at the same
+        # time, so the victim resumes before "b".
+        assert log == ["a", "int", "victim-interrupted", "b"]
+        assert env.now == 5.0
+
+    def test_until_advances_clock_past_drained_queue(self):
+        env = Environment()
+        env.timeout(2)
+        env.run(until=50.0)
+        assert env.now == 50.0
+
+    def test_run_below_is_strictly_exclusive(self):
+        env = Environment()
+        log = []
+
+        def worker(env, delay):
+            yield env.timeout(delay)
+            log.append(env.now)
+
+        for delay in (1, 5, 9):
+            env.process(worker(env, delay))
+        nxt = env.run_below(5.0)
+        assert log == [1.0]
+        assert nxt == 5.0  # the t=5 event is still pending
+        assert env.run_below(9.5) == float("inf")
+        assert log == [1.0, 5.0, 9.0]
+
+    def test_advance_clock_rejects_rewind(self):
+        env = Environment()
+        env.advance_clock(10.0)
+        assert env.now == 10.0
+        env.advance_clock(10.0)  # no-op is fine
+        with pytest.raises(SimulationError, match="rewind"):
+            env.advance_clock(9.0)
+
+
+class TestCallLater:
+    """Pooled timer events behind ``Environment.call_later``."""
+
+    def test_call_later_fires_at_delay(self):
+        env = Environment()
+        log = []
+        env.call_later(3.0, lambda _ev: log.append(env.now))
+        env.run()
+        assert log == [3.0]
+
+    def test_call_later_recycles_event_objects(self):
+        env = Environment()
+        seen = []
+
+        def chain(_ev):
+            seen.append(id(_ev))
+            if len(seen) < 5:
+                env.call_later(1.0, chain)
+
+        env.call_later(1.0, chain)
+        env.run()
+        # The re-arm happens inside the callback, before the firing
+        # event returns to the free list, so the chain alternates
+        # between exactly two recycled instances — never a fresh
+        # allocation per firing.
+        assert len(seen) == 5
+        assert len(set(seen)) == 2
+
+    def test_call_later_trajectory_matches_timeout_callback(self):
+        def run(use_pool):
+            env = Environment()
+            log = []
+
+            def note(tag):
+                return lambda _ev: log.append((env.now, env._eid, tag))
+
+            if use_pool:
+                env.call_later(2.0, note("x"))
+                env.call_later(2.0, note("y"))
+            else:
+                for tag in ("x", "y"):
+                    ev = env.timeout(2.0)
+                    ev.callbacks.append(note(tag))
+            env.timeout(1.0)
+            env.run()
+            return log
+
+        # Same times, same eid counters, same ordering: the pooled
+        # path is bit-identical to timeout()+callback.
+        assert run(True) == run(False)
+
+    def test_call_later_rejects_negative_delay(self):
+        env = Environment()
+        with pytest.raises(ValueError, match="negative delay"):
+            env.call_later(-1.0, lambda _ev: None)

@@ -1,0 +1,278 @@
+"""Tests for the sharded parallel DES kernel.
+
+Covers: the determinism contract (identical merged-trace fingerprints
+at 1/2/4 shards and across repeats, for both the miniring and the
+kernelbench scenario), exact ``until`` boundary semantics in every
+shard mode, zero-lookahead rejection at both the plan and the
+``BoundaryLink`` constructor, worker-crash propagation (Python
+exception and hard process death), partition plumbing, and the
+``build_testbed(sites=, shards=)`` entry point.
+"""
+
+import pytest
+
+from repro.sim.cluster import build_testbed
+from repro.sim.kernel import Environment
+from repro.sim.network import BoundaryLink
+from repro.sim.shard import (
+    LinkSpec,
+    ShardedTestbed,
+    ShardWorkerError,
+    block_partition,
+    endpoint_ids,
+    get_scenario,
+    validate_link_specs,
+)
+from repro.sim.shard.ring import LocalOutbox, SiteInbox
+
+
+def _miniring(sites=4, shards=1, collect="fingerprint", **params):
+    plan = ShardedTestbed(
+        seed=11, sites=sites, shards=shards, scenario="miniring"
+    )
+    return plan.run(params=params, collect=collect, deadline_s=60.0)
+
+
+# ---------------------------------------------------------------------------
+# Partitioning and plan validation
+# ---------------------------------------------------------------------------
+
+
+def test_block_partition_contiguous_and_balanced():
+    assert block_partition(8, 1) == (0,) * 8
+    assert block_partition(8, 4) == (0, 0, 1, 1, 2, 2, 3, 3)
+    assert block_partition(5, 2) == (0, 0, 0, 1, 1)
+    part = block_partition(13, 5)
+    # Contiguous: shard indices never decrease along the site axis.
+    assert list(part) == sorted(part)
+    # Balanced: block sizes differ by at most one, no shard empty.
+    sizes = [part.count(s) for s in range(5)]
+    assert max(sizes) - min(sizes) <= 1 and min(sizes) >= 1
+
+
+def test_block_partition_rejects_bad_shapes():
+    with pytest.raises(ValueError):
+        block_partition(0, 1)
+    with pytest.raises(ValueError):
+        block_partition(4, 0)
+    with pytest.raises(ValueError):
+        block_partition(4, 5)
+
+
+def test_sharded_testbed_validates_partition():
+    with pytest.raises(ValueError, match="entries for"):
+        ShardedTestbed(sites=4, shards=2, partition=(0, 1))
+    with pytest.raises(ValueError, match="outside"):
+        ShardedTestbed(sites=4, shards=2, partition=(0, 0, 1, 3))
+    plan = ShardedTestbed(sites=4, shards=2, partition=(0, 1, 0, 1))
+    assert plan.shard_sites(0) == [0, 2]
+    assert plan.shard_sites(1) == [1, 3]
+
+
+def test_validate_link_specs_rejects_zero_lookahead():
+    spec = LinkSpec(
+        name="wan0",
+        src=0,
+        dst=1,
+        endpoint="spill",
+        bandwidth_mbps=10.0,
+        latency_s=0.0,
+    )
+    with pytest.raises(ValueError, match="zero lookahead"):
+        validate_link_specs([spec], sites=2)
+
+
+def test_validate_link_specs_rejects_malformed_topologies():
+    def spec(**kw):
+        base = dict(
+            name="l",
+            src=0,
+            dst=1,
+            endpoint="e",
+            bandwidth_mbps=10.0,
+            latency_s=1.0,
+        )
+        base.update(kw)
+        return LinkSpec(**base)
+
+    with pytest.raises(ValueError, match="duplicate"):
+        validate_link_specs([spec(), spec(dst=2)], sites=3)
+    with pytest.raises(ValueError, match="outside"):
+        validate_link_specs([spec(dst=5)], sites=2)
+    with pytest.raises(ValueError, match="itself"):
+        validate_link_specs([spec(dst=0)], sites=2)
+    with pytest.raises(ValueError, match="bandwidth"):
+        validate_link_specs([spec(bandwidth_mbps=0.0)], sites=2)
+
+
+def test_boundary_link_ctor_rejects_zero_lookahead_and_self_loop():
+    env = Environment()
+    outbox = LocalOutbox({1: SiteInbox()})
+    with pytest.raises(ValueError, match="zero lookahead"):
+        BoundaryLink(env, "wan", 10.0, 0.0, 0, 1, 0, outbox)
+    with pytest.raises(ValueError, match="itself"):
+        BoundaryLink(env, "wan", 10.0, 2.0, 1, 1, 0, outbox)
+
+
+def test_endpoint_ids_stable_per_destination():
+    specs = [
+        LinkSpec("a", 0, 1, "spill", 10.0, 1.0),
+        LinkSpec("b", 2, 1, "ack", 10.0, 1.0),
+        LinkSpec("c", 1, 0, "spill", 10.0, 1.0),
+    ]
+    ids = endpoint_ids(specs)
+    # Sorted distinct endpoint names per destination, numbered 0..
+    assert ids == {(1, "ack"): 0, (1, "spill"): 1, (0, "spill"): 0}
+
+
+def test_unknown_scenario_and_unknown_param_rejected():
+    with pytest.raises(KeyError, match="miniring"):
+        get_scenario("no-such-scenario")
+    with pytest.raises(ValueError, match="nope"):
+        _miniring(nope=1)
+
+
+# ---------------------------------------------------------------------------
+# Determinism contract
+# ---------------------------------------------------------------------------
+
+
+def test_miniring_fingerprint_identical_across_shard_counts():
+    fps = {}
+    for shards in (1, 2, 4):
+        run = _miniring(sites=4, shards=shards)
+        fps[shards] = run.fingerprint()
+        assert run.total_events > 100
+    assert len(set(fps.values())) == 1, fps
+
+
+def test_miniring_fingerprint_stable_across_repeats():
+    assert (
+        _miniring(sites=4, shards=2).fingerprint()
+        == _miniring(sites=4, shards=2).fingerprint()
+    )
+
+
+def test_kernelbench_fingerprint_identical_across_shard_counts():
+    fps = set()
+    stats = []
+    for shards in (1, 2, 4):
+        plan = ShardedTestbed(seed=3, sites=4, shards=shards)
+        run = plan.run(params={"requests": 10}, deadline_s=120.0)
+        fps.add(run.fingerprint())
+        stats.append(run.combined_stats())
+    assert len(fps) == 1
+    # The workload really provisioned VMs and spilled across sites.
+    assert stats[0]["created"] == 40
+    assert stats[0]["spills_recv"] > 0
+    assert stats[0] == stats[1] == stats[2]
+
+
+def test_custom_partition_changes_placement_not_trajectory():
+    base = _miniring(sites=4, shards=2).fingerprint()
+    plan = ShardedTestbed(
+        seed=11,
+        sites=4,
+        shards=2,
+        scenario="miniring",
+        partition=(0, 0, 0, 1),
+    )
+    assert plan.run(deadline_s=60.0).fingerprint() == base
+
+
+def test_merged_trace_is_time_ordered():
+    run = _miniring(sites=3, shards=1, ticks=12)
+    plan = ShardedTestbed(seed=11, sites=3, shards=3, scenario="miniring")
+    traced = plan.run(
+        params={"ticks": 12}, collect="trace", deadline_s=60.0
+    )
+    merged = traced.merged_trace()
+    assert merged, "trace collection returned nothing"
+    times = [event.time for _site, event in merged]
+    assert times == sorted(times)
+    # Trace collection must not perturb the trajectory fingerprint.
+    assert traced.fingerprint() == run.fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# ``until`` boundary semantics
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_until_leaves_every_site_clock_exactly_at_horizon(shards):
+    plan = ShardedTestbed(
+        seed=11, sites=4, shards=shards, scenario="miniring"
+    )
+    run = plan.run(
+        params={"ticks": 40}, until=13.0, deadline_s=60.0
+    )
+    for site in run.site_results:
+        assert site["now"] == 13.0
+    # Ticks land on integers, so events AT t=13 must have run: with
+    # tick_s=1.0 each site completes exactly 13 of its 40 ticks.
+    assert run.combined_stats()["ticks_done"] == 13 * 4
+
+
+def test_until_truncation_matches_full_run_prefix():
+    full = _miniring(sites=2, shards=1, ticks=6, collect="trace")
+    plan = ShardedTestbed(seed=11, sites=2, shards=2, scenario="miniring")
+    cut = plan.run(
+        params={"ticks": 40},
+        until=6.0,
+        collect="trace",
+        deadline_s=60.0,
+    )
+    full_events = [
+        (s, e.time, e.category) for s, e in full.merged_trace()
+    ]
+    cut_events = [(s, e.time, e.category) for s, e in cut.merged_trace()]
+    # Same prefix of tick events up to and including the horizon.
+    assert [e for e in cut_events if e[1] <= 6.0] == [
+        e for e in full_events if e[1] <= 6.0
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Crash propagation
+# ---------------------------------------------------------------------------
+
+
+def test_worker_exception_propagates_as_shard_worker_error():
+    with pytest.raises(ShardWorkerError, match="injected miniring crash"):
+        _miniring(sites=4, shards=2, crash_site=2, crash_at=5.0)
+
+
+def test_worker_hard_exit_propagates_as_shard_worker_error():
+    with pytest.raises(ShardWorkerError):
+        _miniring(sites=4, shards=2, hard_exit_site=0, hard_exit_at=5.0)
+
+
+def test_single_shard_crash_surfaces_directly():
+    # In-process mode has no worker to blame: the scenario error
+    # surfaces as-is.
+    with pytest.raises(RuntimeError, match="injected miniring crash"):
+        _miniring(sites=4, shards=1, crash_site=1, crash_at=3.0)
+
+
+# ---------------------------------------------------------------------------
+# build_testbed integration
+# ---------------------------------------------------------------------------
+
+
+def test_build_testbed_returns_plan_for_sharded_runs():
+    plan = build_testbed(seed=5, n_plants=4, sites=4, shards=2)
+    assert isinstance(plan, ShardedTestbed)
+    assert plan.sites == 4 and plan.shards == 2
+    assert plan.params["plants"] == 4
+
+
+def test_build_testbed_rejects_env_with_sharding():
+    with pytest.raises(ValueError, match="env="):
+        build_testbed(seed=5, env=Environment(), sites=2)
+
+
+def test_single_site_single_shard_plan_runs():
+    run = _miniring(sites=1, shards=1, ticks=5)
+    assert run.combined_stats()["ticks_done"] == 5
+    assert run.combined_stats()["pings_sent"] == 0  # no links, no peers

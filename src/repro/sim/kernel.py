@@ -416,6 +416,7 @@ class Environment:
         "_now",
         "_queue",
         "_eid",
+        "_executed",
         "_active_proc",
         "tracer",
         "_timeout_pool",
@@ -425,6 +426,7 @@ class Environment:
         self._now = float(initial_time)
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid = 0
+        self._executed = 0
         self._active_proc: Optional[Process] = None
         #: Optional structured tracer (see :mod:`repro.sim.trace`).
         self.tracer = None
@@ -440,6 +442,16 @@ class Environment:
     def active_process(self) -> Optional[Process]:
         """The process currently being advanced, if any."""
         return self._active_proc
+
+    @property
+    def executed_events(self) -> int:
+        """Events actually processed (popped and fired) so far.
+
+        Distinct from the schedule counter: events still sitting in
+        the queue — e.g. beyond a ``run(until=...)`` horizon — are
+        scheduled but never executed.
+        """
+        return self._executed
 
     # -- factories ------------------------------------------------------
     def event(self) -> Event:
@@ -515,6 +527,7 @@ class Environment:
         if not self._queue:
             raise EmptySchedule()
         self._now, _, _, event = _heappop(self._queue)
+        self._executed += 1
         callbacks = event.callbacks
         event.callbacks = None
         if callbacks:
@@ -537,6 +550,7 @@ class Environment:
         pop = _heappop
         while queue and queue[0][0] < limit:
             self._now, _, _, event = pop(queue)
+            self._executed += 1
             callbacks = event.callbacks
             event.callbacks = None
             if callbacks:
@@ -588,6 +602,7 @@ class Environment:
                         "run(until=event): queue empty before event fired"
                     )
                 self._now, _, _, event = pop(queue)
+                self._executed += 1
                 callbacks = event.callbacks
                 event.callbacks = None
                 if callbacks:
@@ -601,6 +616,7 @@ class Environment:
         if stop_at is None:
             while queue:
                 self._now, _, _, event = pop(queue)
+                self._executed += 1
                 callbacks = event.callbacks
                 event.callbacks = None
                 if callbacks:
@@ -611,6 +627,7 @@ class Environment:
             return None
         while queue and queue[0][0] <= stop_at:
             self._now, _, _, event = pop(queue)
+            self._executed += 1
             callbacks = event.callbacks
             event.callbacks = None
             if callbacks:

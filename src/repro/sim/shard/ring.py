@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import heapq
 import os
+import select
 import struct
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -44,6 +45,11 @@ __all__ = [
 #: kind(u8)+pad, src_site, dst_site, endpoint, seq, deliver_time,
 #: promise, payload[4] — 72 bytes per record, little-endian.
 RECORD = struct.Struct("<Bxxxiiiqdddddd")
+
+#: Byte offsets of the deliver_time / promise fields within a record.
+_OFF_DELIVER = 24
+_OFF_PROMISE = 32
+_F64 = struct.Struct("<d")
 
 KIND_NULL = 0
 KIND_MSG = 1
@@ -190,16 +196,31 @@ class RouterOutbox:
 
 
 class RingOutbox:
-    """Write side of the per-destination-shard event rings."""
+    """Write side of the per-destination-shard event rings.
 
-    __slots__ = ("fds", "bufs", "sent")
+    Write fds are non-blocking: when a pipe fills, :meth:`_write`
+    invokes ``on_block`` (if set) so the owner can drain its *own*
+    in-rings — the peer may itself be blocked writing to us, and
+    draining breaks the cycle — then retries until every byte is
+    shipped.  Without a callback it simply waits for pipe space.
+    """
 
-    def __init__(self, fds: Dict[int, int]):
+    __slots__ = ("fds", "bufs", "sent", "on_block")
+
+    def __init__(
+        self,
+        fds: Dict[int, int],
+        on_block: Optional[Callable[[int], None]] = None,
+    ):
         #: dst shard -> pipe write fd
         self.fds = fds
         self.bufs: Dict[int, bytearray] = {s: bytearray() for s in fds}
         #: dst shard -> delivered message count (nulls excluded).
         self.sent: Dict[int, int] = {s: 0 for s in fds}
+        #: Called with the blocked fd when a pipe write would block.
+        self.on_block = on_block
+        for fd in fds.values():
+            os.set_blocking(fd, False)
 
     def pack(
         self,
@@ -230,19 +251,19 @@ class RingOutbox:
             self.sent[dst_shard] += 1
         if len(self.bufs[dst_shard]) >= FLUSH_BATCH * RECORD.size:
             # Oversized batches flush eagerly with a conservative
-            # promise of -inf (no guarantee); the next regular flush
-            # re-stamps the channel's real promise.
+            # channel bound of -inf (no guarantee about later sends);
+            # the next regular flush carries the real promise.
             self._write(dst_shard, float("-inf"))
 
     def flush(self, promise_for: Callable[[int], float]) -> None:
         """Write out all buffered records, stamping channel promises.
 
         ``promise_for(dst_shard)`` supplies the current lower bound on
-        this shard's future delivery times for that channel; it is
-        stamped into every buffered record (a record's promise covers
-        records *after* it, so the flush-time bound is valid for all
-        of them).  Channels with no buffered records are skipped —
-        null messages are sent separately via :meth:`send_null`.
+        this shard's future delivery times for that channel; each
+        buffered record is stamped with the tightest promise that
+        still covers everything *after* it (see :meth:`_write`).
+        Channels with no buffered records are skipped — null messages
+        are sent separately via :meth:`send_null`.
         """
         for dst_shard, buf in self.bufs.items():
             if buf:
@@ -262,14 +283,46 @@ class RingOutbox:
         )
         self._write(dst_shard, promise)
 
-    def _write(self, dst_shard: int, promise: float) -> None:
+    def _write(self, dst_shard: int, bound: float) -> None:
+        """Stamp per-record promises and ship the buffered batch.
+
+        ``bound`` is the channel-level lower bound on *future* sends
+        (``-inf`` for an eager mid-advance flush).  Pipe writes past
+        PIPE_BUF are not atomic, so a reader may observe any prefix
+        of this batch; a record's stamped promise must therefore also
+        cover the records *after* it in the batch.  Stamping
+        backwards, record *i* gets ``min(bound, deliver_time of
+        records i+1..n)`` — the tightest promise that cannot ratchet
+        the reader past a still-in-flight delivery.
+        """
         buf = self.bufs[dst_shard]
-        if promise != 0.0:
-            # Restamp the promise field of every buffered record.
-            for off in range(0, len(buf), RECORD.size):
-                struct.pack_into("<d", buf, off + 32, promise)
-        os.write(self.fds[dst_shard], bytes(buf))
+        size = RECORD.size
+        for off in range(len(buf) - size, -1, -size):
+            _F64.pack_into(buf, off + _OFF_PROMISE, bound)
+            if buf[off] == KIND_MSG:
+                (dt,) = _F64.unpack_from(buf, off + _OFF_DELIVER)
+                if dt < bound:
+                    bound = dt
+        data = memoryview(bytes(buf))
         buf.clear()
+        fd = self.fds[dst_shard]
+        while data:
+            try:
+                n = os.write(fd, data)
+            except BlockingIOError:
+                # Pipe full.  Drain our own in-rings via on_block (the
+                # peer may be blocked writing to us) or wait for space.
+                if self.on_block is not None:
+                    self.on_block(fd)
+                else:
+                    select.select([], [fd], [])
+                continue
+            except BrokenPipeError as exc:
+                raise BrokenShardError(
+                    f"event ring to shard {dst_shard} closed "
+                    f"mid-run (worker died?)"
+                ) from exc
+            data = data[n:]
 
 
 class RingReader:

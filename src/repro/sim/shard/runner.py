@@ -42,6 +42,7 @@ import math
 import multiprocessing
 import multiprocessing.connection as mpconn
 import os
+import select
 import selectors
 import time
 import traceback
@@ -301,7 +302,7 @@ class _SiteWorld:
         rt = self.runtimes[site]
         out: Dict[str, Any] = {
             "site": site,
-            "events": rt.env._eid,
+            "events": rt.env.executed_events,
             "now": rt.env.now,
             "stats": self.scenario.collect(rt.handle),
         }
@@ -863,7 +864,7 @@ class _ShardWorker:
         self.limit = _limit_for(until)
         self.site_list = plan.shard_sites(shard)
         self.inboxes = {s: SiteInbox() for s in self.site_list}
-        self.ring = RingOutbox(write_fds)
+        self.ring = RingOutbox(write_fds, on_block=self._ring_block)
         outbox = RouterOutbox(
             self.inboxes, self.ring, tuple(plan.partition), shard
         )
@@ -926,6 +927,19 @@ class _ShardWorker:
             if r.drain(self.inboxes):
                 got = True
         return got
+
+    def _ring_block(self, fd: int) -> None:
+        """An outbound ring pipe is full; avoid a mutual-flood deadlock.
+
+        The peer may itself be blocked writing to us, so drain our own
+        in-rings (freeing its writer) before waiting for pipe space.
+        Arrivals pushed into inboxes mid-advance are safe: an ongoing
+        ``group.advance`` uses a promises snapshot that only lags the
+        ratchet, so its horizons stay conservative and every new
+        delivery time still lies at or beyond them.
+        """
+        self._drain()
+        select.select([], [fd], [], 0.05)
 
     def _handle_control(self) -> bool:
         """Process queued coordinator messages; True on stop."""

@@ -9,6 +9,8 @@ exception and hard process death), partition plumbing, and the
 ``build_testbed(sites=, shards=)`` entry point.
 """
 
+import os
+
 import pytest
 
 from repro.sim.cluster import build_testbed
@@ -23,7 +25,14 @@ from repro.sim.shard import (
     get_scenario,
     validate_link_specs,
 )
-from repro.sim.shard.ring import LocalOutbox, SiteInbox
+from repro.sim.shard.ring import (
+    KIND_MSG,
+    RECORD,
+    LocalOutbox,
+    RingOutbox,
+    RingReader,
+    SiteInbox,
+)
 
 
 def _miniring(sites=4, shards=1, collect="fingerprint", **params):
@@ -276,3 +285,69 @@ def test_single_site_single_shard_plan_runs():
     run = _miniring(sites=1, shards=1, ticks=5)
     assert run.combined_stats()["ticks_done"] == 5
     assert run.combined_stats()["pings_sent"] == 0  # no links, no peers
+
+
+# ---------------------------------------------------------------------------
+# Event-ring wire safety (promise stamping, full-pipe writes)
+# ---------------------------------------------------------------------------
+
+
+def test_ring_batch_promise_covers_records_after_it():
+    # Pipe writes past PIPE_BUF are not atomic, so a reader can see
+    # any prefix of a batch: no record's stamped promise may exceed
+    # the deliver time of any record after it, or the reader would
+    # ratchet past a still-in-flight delivery.
+    rfd, wfd = os.pipe()
+    try:
+        out = RingOutbox({1: wfd})
+        for seq, dt in enumerate([35.0, 11.0, 40.0]):
+            out.pack(1, KIND_MSG, 0, 0, 0, seq, dt, ())
+        out.flush(lambda dst: 51.0)
+        data = os.read(rfd, 1 << 16)
+        recs = [
+            RECORD.unpack_from(data, off)
+            for off in range(0, len(data), RECORD.size)
+        ]
+        delivers = [r[5] for r in recs]
+        promises = [r[6] for r in recs]
+        assert delivers == [35.0, 11.0, 40.0]
+        assert promises == [11.0, 40.0, 51.0]
+        for i, p in enumerate(promises):
+            assert all(p <= d for d in delivers[i + 1 :])
+    finally:
+        os.close(rfd)
+        os.close(wfd)
+
+
+def test_ring_full_pipe_write_drains_instead_of_deadlocking():
+    # ~140 KB of records, far beyond any default pipe capacity: the
+    # write must invoke on_block (modelling the worker draining its
+    # own in-rings) and complete without losing or tearing a record.
+    rfd, wfd = os.pipe()
+    try:
+        reader = RingReader(0, rfd, 0.5)
+        inboxes = {0: SiteInbox()}
+        out = RingOutbox(
+            {1: wfd}, on_block=lambda fd: reader.drain(inboxes)
+        )
+        n = 2000
+        for i in range(n):
+            out.pack(1, KIND_MSG, 1, 0, 0, i, 100.0 + i, (float(i),))
+        final_promise = 100.0 + n + 0.5
+        out.flush(lambda dst: final_promise)
+        reader.drain(inboxes)
+        assert reader.received == n
+        assert len(inboxes[0]) == n
+        assert reader.promise == final_promise
+    finally:
+        os.close(rfd)
+        os.close(wfd)
+
+
+def test_executed_events_counts_executed_not_scheduled():
+    env = Environment()
+    env.timeout(1.0)
+    env.timeout(5.0)  # beyond the horizon: scheduled, never executed
+    env.run(until=2.0)
+    assert env.executed_events == 1
+    assert env.now == 2.0

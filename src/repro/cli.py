@@ -17,6 +17,7 @@ Subcommands map one-to-one to the experiment drivers::
     vmplants resilience
     vmplants replicas
     vmplants loadtest [--requests N] [--rates R ...]
+    vmplants disttree [--hosts N ...] [--fanout K]
     vmplants kernelbench [--sites N] [--shards S ...]
     vmplants chaos [--mtbf S ...] [--report PATH] [--replay PATH]
     vmplants all                  # everything, in order
@@ -128,6 +129,33 @@ def _loadtest(args) -> str:
         rates=tuple(args.rates),
         cache_mb=args.cache_mb,
     ).render()
+
+
+def _disttree(args) -> str:
+    import json
+
+    from repro.experiments.disttree import run_disttree
+
+    result = run_disttree(
+        seed=args.seed,
+        hosts=tuple(args.hosts),
+        fanout=args.fanout,
+    )
+    if args.report:
+        record = {
+            "seed": result.seed,
+            "memory_mb": result.memory_mb,
+            "hosts": list(result.hosts),
+            "fanout": result.fanout,
+            "points": [
+                p.as_dict()
+                for pts in result.points.values()
+                for p in pts
+            ],
+        }
+        with open(args.report, "w") as fh:
+            json.dump(record, fh, indent=2, sort_keys=True)
+    return result.render()
 
 
 def _kernelbench(args) -> str:
@@ -296,6 +324,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-host golden-state cache budget",
     )
     loadtest.set_defaults(runner=_loadtest)
+
+    # Not part of ``all``: a scale-out ladder far beyond the paper's
+    # 8-node testbed (see DESIGN.md, "Image distribution").
+    disttree = sub.add_parser(
+        "disttree",
+        help=(
+            "fleet-size ladder of same-image broadcast bursts: "
+            "NFS star vs peer distribution tree"
+        ),
+    )
+    disttree.add_argument("--seed", type=int, default=2004)
+    disttree.add_argument(
+        "--hosts",
+        type=int,
+        nargs="+",
+        default=[8, 32, 128, 512],
+        help="fleet sizes to sweep (one VM per host)",
+    )
+    disttree.add_argument(
+        "--fanout",
+        type=int,
+        default=2,
+        help="concurrent peer serves per source (1=chain, 2=binary)",
+    )
+    disttree.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="write the JSON record (per-rung points + fingerprints)",
+    )
+    disttree.set_defaults(runner=_disttree)
 
     # Not part of ``all``: throughput columns are host wall-clock /
     # CPU-time, while ``all`` stays deterministic per seed.

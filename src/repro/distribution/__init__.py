@@ -1,0 +1,13 @@
+"""Peer-to-peer golden-image distribution (broadcast trees).
+
+Replaces the star-topology warehouse pull with k-ary broadcast trees
+over per-host cluster uplinks, plus popularity-driven proactive
+replica placement.  See ``DESIGN.md`` ("Image distribution") for the
+construction and failure-fallback rules.
+"""
+
+from repro.distribution.peerstore import PeerImageStore
+from repro.distribution.placer import ReplicaPlacer
+from repro.distribution.planner import DistributionPlanner
+
+__all__ = ["PeerImageStore", "DistributionPlanner", "ReplicaPlacer"]

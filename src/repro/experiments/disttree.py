@@ -1,0 +1,237 @@
+"""Image-distribution scale ladder: NFS star vs. peer broadcast tree.
+
+The paper's testbed delivers every clone's golden state over one
+shared NFS path, so a same-image burst across N hosts serializes on
+that link and creation p95 grows linearly with the fleet.  This
+experiment sweeps the fleet size (8 → 512 hosts by default) and
+measures the same one-VM-per-host broadcast burst under two wirings:
+
+* ``nfs-star`` — the all-off baseline, every host pulls from the
+  warehouse;
+* ``tree`` — the :mod:`repro.distribution` planner, where the first
+  NFS fetch seeds a k-ary peer tree and every later host copies from
+  an already-seeded peer.
+
+The headline figure is *p95 flatness*: the tree's creation p95 at the
+top of the ladder divided by its value at the bottom.  Tree delivery
+grows with depth (O(log N)), so the ratio stays near 1 while the star
+baseline's grows roughly like N.
+
+Plants are driven directly (no shop bidding): the point is the
+delivery fabric, and an N-plant bidding round is O(N) messages per
+request, which at 512 hosts would swamp the thing being measured.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import ReproError
+from repro.provisioning import ProvisioningConfig
+from repro.sim.cluster import build_testbed
+from repro.workloads.requests import experiment_request
+
+__all__ = [
+    "VARIANTS",
+    "DistPoint",
+    "DistTreeResult",
+    "run_disttree",
+]
+
+#: Delivery wirings compared at every ladder rung.
+VARIANTS: Tuple[str, ...] = ("nfs-star", "tree")
+
+
+def _variant_config(
+    variant: str, fanout: int, peer_store_mb: float
+) -> ProvisioningConfig:
+    if variant == "nfs-star":
+        return ProvisioningConfig()
+    if variant == "tree":
+        return ProvisioningConfig(
+            distribution_tree=True,
+            tree_fanout=fanout,
+            peer_store_mb=peer_store_mb,
+        )
+    raise ValueError(f"unknown variant {variant!r}")
+
+
+@dataclass(frozen=True)
+class DistPoint:
+    """One (variant, fleet size) broadcast-burst measurement."""
+
+    variant: str
+    hosts: int
+    ok: int
+    failed: int
+    p50_s: float
+    p95_s: float
+    mean_s: float
+    max_s: float
+    makespan_s: float
+    nfs_mb: float
+    #: Planner counters (zero for the star variant).
+    peer_hops: int
+    attaches: int
+    fallbacks: int
+    nfs_seeds: int
+    #: SHA-256 over the per-host latencies (determinism checks).
+    fingerprint: str
+
+    def as_dict(self) -> dict:
+        return {
+            "variant": self.variant,
+            "hosts": self.hosts,
+            "ok": self.ok,
+            "failed": self.failed,
+            "p50_s": self.p50_s,
+            "p95_s": self.p95_s,
+            "mean_s": self.mean_s,
+            "max_s": self.max_s,
+            "makespan_s": self.makespan_s,
+            "nfs_mb": self.nfs_mb,
+            "peer_hops": self.peer_hops,
+            "attaches": self.attaches,
+            "fallbacks": self.fallbacks,
+            "nfs_seeds": self.nfs_seeds,
+            "fingerprint": self.fingerprint,
+        }
+
+
+@dataclass
+class DistTreeResult:
+    """Full ladder: variant → points in increasing fleet size."""
+
+    seed: int
+    memory_mb: int
+    hosts: Tuple[int, ...]
+    fanout: int
+    points: Dict[str, List[DistPoint]] = field(default_factory=dict)
+
+    def point(self, variant: str, hosts: int) -> DistPoint:
+        """The measurement for one (variant, fleet size) rung."""
+        for p in self.points[variant]:
+            if p.hosts == hosts:
+                return p
+        raise KeyError(f"no point for {variant!r} at {hosts} hosts")
+
+    def p95_growth(self, variant: str) -> float:
+        """p95 at the top of the ladder over p95 at the bottom."""
+        lo = self.point(variant, min(self.hosts))
+        hi = self.point(variant, max(self.hosts))
+        return hi.p95_s / lo.p95_s
+
+    def render(self) -> str:
+        lines = [
+            "Extension: golden-image distribution at scale "
+            f"(one {self.memory_mb} MB VM per host, same-image burst, "
+            f"tree fan-out {self.fanout})",
+            "",
+            f"{'variant':<10} {'hosts':>5} {'ok':>4} {'p50 (s)':>8} "
+            f"{'p95 (s)':>8} {'max (s)':>8} {'NFS MB':>9} "
+            f"{'hops':>5} {'attach':>6} {'fall':>4}",
+            "-" * 76,
+        ]
+        for variant in self.points:
+            for p in self.points[variant]:
+                lines.append(
+                    f"{variant:<10} {p.hosts:>5d} {p.ok:>4d} "
+                    f"{p.p50_s:>8.1f} {p.p95_s:>8.1f} {p.max_s:>8.1f} "
+                    f"{p.nfs_mb:>9.0f} {p.peer_hops:>5d} "
+                    f"{p.attaches:>6d} {p.fallbacks:>4d}"
+                )
+        lines.append("-" * 76)
+        lines.append(
+            f"{min(self.hosts)}->{max(self.hosts)} hosts: tree p95 grows "
+            f"{self.p95_growth('tree'):.2f}x while the NFS star grows "
+            f"{self.p95_growth('nfs-star'):.1f}x"
+        )
+        return "\n".join(lines)
+
+
+def _fingerprint(latencies: Sequence[float]) -> str:
+    payload = ",".join(f"{v:.9f}" for v in latencies)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def _run_point(
+    variant: str,
+    config: ProvisioningConfig,
+    seed: int,
+    memory_mb: int,
+    hosts: int,
+) -> DistPoint:
+    bed = build_testbed(seed=seed, n_plants=hosts, provisioning=config)
+    request = experiment_request(memory_mb)
+    latencies: List[float] = []
+    failures = [0]
+
+    def one(index: int) -> Generator:
+        start = bed.env.now
+        try:
+            yield from bed.plants[index].create(request, f"dist-{index}")
+        except ReproError:
+            failures[0] += 1
+            return
+        latencies.append(bed.env.now - start)
+
+    def burst() -> Generator:
+        procs = [bed.env.process(one(i)) for i in range(hosts)]
+        yield bed.env.all_of(procs)
+
+    start = bed.env.now
+    bed.run(burst())
+    makespan = bed.env.now - start
+    sample = np.asarray(latencies, dtype=float)
+    ok = int(sample.size)
+    planner = bed.distribution
+    return DistPoint(
+        variant=variant,
+        hosts=hosts,
+        ok=ok,
+        failed=failures[0],
+        p50_s=float(np.percentile(sample, 50)) if ok else float("nan"),
+        p95_s=float(np.percentile(sample, 95)) if ok else float("nan"),
+        mean_s=float(sample.mean()) if ok else float("nan"),
+        max_s=float(sample.max()) if ok else float("nan"),
+        makespan_s=makespan,
+        nfs_mb=float(bed.nfs.mb_served),
+        peer_hops=planner.peer_hops if planner else 0,
+        attaches=planner.attaches if planner else 0,
+        fallbacks=planner.fallbacks if planner else 0,
+        nfs_seeds=planner.nfs_seeds if planner else 0,
+        fingerprint=_fingerprint(latencies),
+    )
+
+
+def run_disttree(
+    seed: int = 2004,
+    memory_mb: int = 64,
+    hosts: Sequence[int] = (8, 32, 128, 512),
+    fanout: int = 2,
+    peer_store_mb: float = 1024.0,
+    variants: Sequence[str] = VARIANTS,
+) -> DistTreeResult:
+    """Sweep fleet sizes across delivery wirings (same-image burst)."""
+    if not hosts or any(h <= 0 for h in hosts):
+        raise ValueError("hosts must be positive")
+    unknown = set(variants) - set(VARIANTS)
+    if unknown:
+        raise ValueError(f"unknown variants: {sorted(unknown)}")
+    result = DistTreeResult(
+        seed=seed,
+        memory_mb=memory_mb,
+        hosts=tuple(hosts),
+        fanout=fanout,
+    )
+    for variant in variants:
+        config = _variant_config(variant, fanout, peer_store_mb)
+        result.points[variant] = [
+            _run_point(variant, config, seed, memory_mb, n)
+            for n in hosts
+        ]
+    return result

@@ -291,17 +291,30 @@ class VMWarehouse:
         hit = self._memo.get(key)
         if hit is not None:
             self.match_stats["memo_hits"] += 1
+            if hit[0] is not None:
+                self._index.note_select(hit[0].image_id)
             return hit
         selection = self._index.select(dag, hardware, os, vm_type)
         if len(self._memo) >= _MEMO_LIMIT:
             self._memo.clear()
         self._memo[key] = selection
+        if selection[0] is not None:
+            self._index.note_select(selection[0].image_id)
         return selection
 
     @property
     def index_stats(self) -> Dict[str, int]:
         """The match index's query counters (read-only snapshot)."""
         return dict(self._index.stats)
+
+    @property
+    def popularity(self) -> Dict[str, int]:
+        """Selection wins per image id (memo hits included).
+
+        The replica placer ranks images by this to decide which state
+        to pre-push onto seed hosts; snapshot, safe to mutate.
+        """
+        return dict(self._index.popularity)
 
     # -- persistence ---------------------------------------------------------
     def dump_xml(self) -> str:

@@ -18,7 +18,11 @@ concurrent traffic:
 * **adaptive speculative pools** — each plant pre-creates clones
   sized to its observed arrival rate and serves requests by extending
   a pooled VM, quoting a discounted bid when one is available (see
-  :class:`~repro.plant.speculative.AdaptiveSpeculativePool`).
+  :class:`~repro.plant.speculative.AdaptiveSpeculativePool`);
+* **peer distribution trees** — golden-image delivery becomes a k-ary
+  broadcast tree over per-host cluster uplinks instead of N pulls on
+  the one warehouse link, optionally with popularity-driven proactive
+  replica placement (see :mod:`repro.distribution`).
 
 Everything defaults to **off**: a testbed built without an explicit
 :class:`ProvisioningConfig` (or with the default one) reproduces the
@@ -55,6 +59,26 @@ class ProvisioningConfig:
     #: Bid multiplier quoted when a pooled VM can serve the request.
     pool_bid_discount: float = 0.25
 
+    # -- peer distribution trees -------------------------------------------
+    #: Deliver LINK clone state over peer broadcast trees?
+    distribution_tree: bool = False
+    #: Concurrent peer serves per source host (1 = chained, 2 = binary).
+    tree_fanout: int = 2
+    #: Floor for the host cache budget when the tree layer is on (the
+    #: peer store serves from the host cache, so it must exist).
+    peer_store_mb: float = 1024.0
+    #: Per-host serving uplink bandwidth (MB/s) — the paper's gigabit
+    #: inter-node switch, minus protocol overhead.
+    peer_bandwidth_mbps: float = 110.0
+    #: Run the popularity-driven replica placement daemon?
+    replica_placement: bool = False
+    #: Placement sweep period (s).
+    placement_period_s: float = 120.0
+    #: Hottest images pre-pushed per sweep.
+    placement_top_k: int = 2
+    #: Seed hosts (tree roots) per site, spread over the host list.
+    placement_seed_hosts: int = 2
+
     def __post_init__(self) -> None:
         if self.host_cache_mb < 0:
             raise ValueError("host_cache_mb must be non-negative")
@@ -70,6 +94,23 @@ class ProvisioningConfig:
             raise ValueError("pool_lead_time_s must be positive")
         if not 0.0 < self.pool_bid_discount <= 1.0:
             raise ValueError("pool_bid_discount must be in (0, 1]")
+        if self.tree_fanout < 1:
+            raise ValueError("tree_fanout must be at least 1")
+        if self.peer_store_mb <= 0:
+            raise ValueError("peer_store_mb must be positive")
+        if self.peer_bandwidth_mbps <= 0:
+            raise ValueError("peer_bandwidth_mbps must be positive")
+        if self.placement_period_s <= 0:
+            raise ValueError("placement_period_s must be positive")
+        if self.placement_top_k < 1:
+            raise ValueError("placement_top_k must be at least 1")
+        if self.placement_seed_hosts < 1:
+            raise ValueError("placement_seed_hosts must be at least 1")
+        if self.replica_placement and not self.distribution_tree:
+            raise ValueError(
+                "replica_placement requires distribution_tree (the "
+                "placer pushes state through the tree planner)"
+            )
 
     @property
     def enabled(self) -> bool:
@@ -78,6 +119,7 @@ class ProvisioningConfig:
             self.host_cache_mb > 0
             or self.coalesce_transfers
             or self.speculative_pools
+            or self.distribution_tree
         )
 
     def without_pools(self) -> "ProvisioningConfig":
@@ -91,4 +133,6 @@ FULL_PROVISIONING = ProvisioningConfig(
     host_cache_mb=1024.0,
     coalesce_transfers=True,
     speculative_pools=True,
+    distribution_tree=True,
+    replica_placement=True,
 )

@@ -66,6 +66,11 @@ class Testbed:
     )
     #: Per-plant adaptive speculative pool managers (when enabled).
     pools: List[object] = field(default_factory=list)
+    #: Peer distribution-tree planner (None unless enabled).
+    distribution: Optional[object] = None
+    #: Popularity-driven replica placer (None unless enabled; not
+    #: auto-started — call ``placer.start()`` like the VM monitor).
+    placer: Optional[object] = None
 
     def run(self, generator) -> object:
         """Drive one process generator to completion on this env."""
@@ -118,8 +123,9 @@ def build_testbed(
     override ``clone_failure_prob`` (per-run), ``vm_types`` (the UML
     study) and the cost model (Section 3.4 illustration).
     ``provisioning`` switches on the throughput layer (host-side
-    golden-state caches, transfer coalescing, speculative pools);
-    omitted or defaulted it changes nothing.  ``recovery`` configures
+    golden-state caches, transfer coalescing, speculative pools, peer
+    distribution trees with optional replica placement); omitted or
+    defaulted it changes nothing.  ``recovery`` configures
     the shop's fault-recovery ladder (deadlines, backoff re-bids,
     plant quarantine); omitted, every knob is off.
 
@@ -169,6 +175,18 @@ def build_testbed(
     # (Section 4.2); migrations move VM state across it.
     internode = FairShareLink(env, "internode", bandwidth_mbps=110.0)
 
+    distribution = None
+    if prov.distribution_tree:
+        from repro.distribution import DistributionPlanner
+
+        distribution = DistributionPlanner(
+            env,
+            nfs,
+            latency=latency,
+            fanout=prov.tree_fanout,
+            peer_bandwidth_mbps=prov.peer_bandwidth_mbps,
+        )
+
     warehouse = VMWarehouse()
     for vm_type in vm_types:
         for memory in memory_sizes:
@@ -193,6 +211,11 @@ def build_testbed(
     plants: List[VMPlant] = []
     lines_by_type: Dict[str, List[object]] = {vt: [] for vt in vm_types}
     pools: List[object] = []
+    # The peer store serves from the host cache, so the tree layer
+    # forces one into existence even when host_cache_mb is 0.
+    cache_mb = prov.host_cache_mb
+    if prov.distribution_tree:
+        cache_mb = max(cache_mb, prov.peer_store_mb)
     for i in range(n_plants):
         host = PhysicalHost(
             env,
@@ -200,12 +223,12 @@ def build_testbed(
             memory_mb=host_memory_mb,
             latency=latency,
             state_cache=(
-                HostStateCache(prov.host_cache_mb)
-                if prov.host_cache_mb > 0
-                else None
+                HostStateCache(cache_mb) if cache_mb > 0 else None
             ),
         )
         hosts.append(host)
+        if distribution is not None:
+            distribution.register_host(host)
         lines = {}
         for vm_type in vm_types:
             line_cls = VMwareLine if vm_type == "vmware" else UMLLine
@@ -218,6 +241,7 @@ def build_testbed(
                 clone_failure_prob=clone_failure_prob,
                 action_failure_prob=action_failure_prob,
                 coalesce_transfers=prov.coalesce_transfers,
+                distribution=distribution,
             )
             lines[vm_type] = line
             lines_by_type[vm_type].append(line)
@@ -251,6 +275,19 @@ def build_testbed(
             plant.attach_speculative(manager)
             pools.append(manager)
 
+    placer = None
+    if prov.replica_placement and distribution is not None:
+        from repro.distribution import ReplicaPlacer
+
+        placer = ReplicaPlacer(
+            env,
+            distribution,
+            warehouse,
+            period_s=prov.placement_period_s,
+            top_k=prov.placement_top_k,
+            seed_hosts=prov.placement_seed_hosts,
+        )
+
     return Testbed(
         env=env,
         rng=rng,
@@ -266,4 +303,6 @@ def build_testbed(
         lines=lines_by_type,
         provisioning=prov,
         pools=pools,
+        distribution=distribution,
+        placer=placer,
     )

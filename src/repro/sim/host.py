@@ -16,7 +16,7 @@ behaviour:
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Generator, Optional
+from typing import Dict, Generator, Optional
 
 from repro.core.errors import PlantError
 from repro.sim.kernel import Environment
@@ -34,15 +34,26 @@ class HostStateCache:
     image replicate them from the local disk instead of re-crossing
     the shared NFS link.  The cache is bounded by ``capacity_mb`` and
     evicts least-recently-cloned images first.
+
+    The peer-distribution layer (``repro.distribution``) serves cached
+    state to other hosts straight off this disk, so an entry may be
+    :meth:`pin`-ned while a peer transfer reads it: pinned entries are
+    skipped by the eviction scan (the next-least-recent unpinned entry
+    goes instead), and an insert that cannot make room without
+    touching a pinned entry is refused.  With no pins outstanding —
+    every configuration without the distribution layer — behaviour is
+    bit-identical to the plain LRU.
     """
 
     __slots__ = (
         "capacity_mb",
         "used_mb",
         "_entries",
+        "_pins",
         "hits",
         "misses",
         "evictions",
+        "eviction_refusals",
     )
 
     def __init__(self, capacity_mb: float):
@@ -52,9 +63,13 @@ class HostStateCache:
         self.used_mb = 0.0
         #: image_id → cached state size (MB), LRU-ordered (MRU last).
         self._entries: "OrderedDict[str, float]" = OrderedDict()
+        #: image_id → outstanding pin count (in-progress peer serves).
+        self._pins: Dict[str, int] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Inserts refused because only pinned entries were evictable.
+        self.eviction_refusals = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -85,18 +100,59 @@ class HostStateCache:
         if previous is not None:
             self.used_mb -= previous
         while self.used_mb + size_mb > self.capacity_mb and self._entries:
-            _, evicted_mb = self._entries.popitem(last=False)
+            if not self._pins:
+                victim, evicted_mb = self._entries.popitem(last=False)
+            else:
+                victim = next(
+                    (
+                        k
+                        for k in self._entries
+                        if not self._pins.get(k)
+                    ),
+                    None,
+                )
+                if victim is None:
+                    # Every remaining entry is mid-serve: refuse the
+                    # insert rather than yank bytes out from under a
+                    # peer transfer (restore any refreshed entry).
+                    self.eviction_refusals += 1
+                    if previous is not None:
+                        self._entries[image_id] = previous
+                        self.used_mb += previous
+                    return False
+                evicted_mb = self._entries.pop(victim)
             self.used_mb -= evicted_mb
             self.evictions += 1
         self._entries[image_id] = size_mb
         self.used_mb += size_mb
         return True
 
+    # -- peer-serve pinning ----------------------------------------------
+    def pin(self, image_id: str) -> None:
+        """Protect an entry from eviction while a peer serve reads it."""
+        self._pins[image_id] = self._pins.get(image_id, 0) + 1
+
+    def unpin(self, image_id: str) -> None:
+        """Drop one pin (missing entries are ignored: a crash may have
+        cleared the cache while the serve was unwinding)."""
+        count = self._pins.get(image_id)
+        if count is None:
+            return
+        if count <= 1:
+            del self._pins[image_id]
+        else:
+            self._pins[image_id] = count - 1
+
+    def pinned(self, image_id: str) -> bool:
+        """Is the entry currently protected by an in-progress serve?"""
+        return bool(self._pins.get(image_id))
+
     def clear(self) -> int:
         """Drop every cached entry (host crash: local disk state is
         gone); returns how many entries were invalidated."""
         dropped = len(self._entries)
         self._entries.clear()
+        self._pins.clear()
         self.used_mb = 0.0
         return dropped
 

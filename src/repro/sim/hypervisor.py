@@ -65,8 +65,10 @@ class CloneRecord:
     host_vms_before: int
     #: Where the per-clone state came from: ``"nfs"`` (warehouse
     #: transfer), ``"coalesced"`` (shared an in-flight transfer),
-    #: ``"host-cache"`` (warm host LRU cache) or ``"line-cache"``
-    #: (the legacy per-line replica ablation).
+    #: ``"host-cache"`` (warm host LRU cache), ``"line-cache"``
+    #: (the legacy per-line replica ablation), ``"peer"`` (one hop of
+    #: a distribution tree) or ``"local"`` (peer store already seeded
+    #: by the placer or an earlier tree delivery).
     copy_source: str = "nfs"
 
 
@@ -98,6 +100,7 @@ class _SimLine(ProductionLine):
         admission_overcommit: float = 2.0,
         local_state_cache: bool = False,
         coalesce_transfers: bool = False,
+        distribution=None,
     ):
         if not 0.0 <= clone_failure_prob < 1.0:
             raise ValueError("clone_failure_prob must be in [0, 1)")
@@ -117,6 +120,11 @@ class _SimLine(ProductionLine):
         self.local_state_cache = local_state_cache
         #: Share in-flight warehouse transfers per (host, image)?
         self.coalesce_transfers = coalesce_transfers
+        #: Optional peer-tree planner
+        #: (:class:`repro.distribution.DistributionPlanner`); when set,
+        #: LINK-mode state rides the broadcast tree instead of the
+        #: star-topology warehouse pull.
+        self.distribution = distribution
         self._cached_images: set = set()
         self.clone_records: List[CloneRecord] = []
         #: vmid → guest MB admitted but not yet running (in-flight
@@ -147,6 +155,10 @@ class _SimLine(ProductionLine):
         self._cached_images.clear()
         if self.host.state_cache is not None:
             self.host.state_cache.clear()
+        if self.distribution is not None:
+            # Peers mid-fetch from this host fall back down the
+            # recovery ladder (idempotent for multi-line hosts).
+            self.distribution.on_host_crashed(self.host)
         self.hang_until = 0.0
 
     def host_recovered(self) -> None:
@@ -234,6 +246,15 @@ class _SimLine(ProductionLine):
             yield from self.host.disk_read(payload)
             yield from self.host.disk_write(payload)
             return self.env.now - start, "host-cache"
+        if self.distribution is not None and mode is CloneMode.LINK:
+            # Peer broadcast tree: nearest seeded peer, else attach to
+            # an in-flight delivery, else seed from the warehouse.
+            # The planner seeds the host cache itself on success.
+            source = yield from self.distribution.fetch(
+                self.host, image.image_id, payload, files=files
+            )
+            self._cached_images.add(image.image_id)
+            return self.env.now - start, source
         if self.coalesce_transfers:
             source = yield from self.nfs.copy_to_host_coalesced(
                 (self.host.name, image.image_id, mode.value),

@@ -17,6 +17,7 @@ from repro.sim.kernel import Environment, Event
 from repro.sim.latency import DEFAULT_LATENCY, LatencyModel
 from repro.sim.network import FairShareLink
 from repro.sim.rng import RngHub
+from repro.sim.trace import trace
 
 __all__ = [
     "TransferCoalescer",
@@ -75,6 +76,11 @@ class TransferCoalescer:
             entry.followers += 1
             self.requests_coalesced += 1
             self.mb_saved += size_mb
+            trace(
+                self.env, "storage", "coalesce-attach",
+                host=host.name, key=repr(key),
+                follower=entry.followers, mb=size_mb,
+            )
             yield entry.done
             if entry.error is not None:
                 # The leader's transfer never landed: every coalesced
@@ -254,9 +260,12 @@ class ReplicatedWarehouseStorage:
     Section 3.2 points to "a VM-Warehouse based on virtualized
     distributed file systems" as ongoing work; the observable effect
     is that clone-state reads spread over replicas instead of queueing
-    on one NFS path.  Each transfer goes to the replica whose uplink
-    currently carries the fewest flows (ties to the first), which is
-    what a read-only replica set with client-side selection achieves.
+    on one NFS path.  Each transfer goes to the replica that currently
+    has the fewest in-flight megabytes committed to it — undelivered
+    bytes on its uplink plus the payloads of requests still in their
+    per-file overhead phase — with ties broken deterministically by
+    replica position.  Flow *counts* alone would route a burst of
+    small reads onto a replica mid-way through a multi-GB disk copy.
 
     Drop-in for :class:`NFSServer` wherever only ``read_file`` /
     ``copy_to_host`` are used (the production lines).
@@ -267,9 +276,11 @@ class ReplicatedWarehouseStorage:
             raise ValueError("at least one replica is required")
         self.replicas = list(replicas)
         self.env = self.replicas[0].env
-        # In-flight request count per replica: link.active_flows alone
-        # misses requests still in their per-file overhead phase.
-        self._inflight = {id(r): 0 for r in self.replicas}
+        # In-flight megabytes per replica: link.remaining_mb alone
+        # misses requests still in their per-file overhead phase, so
+        # each operation registers its payload here for its full span.
+        self._inflight_mb = {id(r): 0.0 for r in self.replicas}
+        self._order = {id(r): i for i, r in enumerate(self.replicas)}
         # Replica-set-wide coalescing: the leader still load-balances
         # across replicas, followers never hit any uplink.
         self.coalescer = TransferCoalescer(self.env)
@@ -277,7 +288,7 @@ class ReplicatedWarehouseStorage:
     def _pick(self) -> NFSServer:
         return min(
             self.replicas,
-            key=lambda r: (self._inflight[id(r)], r.link.active_flows),
+            key=lambda r: (self._inflight_mb[id(r)], self._order[id(r)]),
         )
 
     def begin_outage(self, mode: str = "stall") -> bool:
@@ -310,11 +321,11 @@ class ReplicatedWarehouseStorage:
     def read_file(self, size_mb: float) -> Generator:
         """Serve one file read from the least-loaded replica."""
         replica = self._pick()
-        self._inflight[id(replica)] += 1
+        self._inflight_mb[id(replica)] += size_mb
         try:
             yield from replica.read_file(size_mb)
         finally:
-            self._inflight[id(replica)] -= 1
+            self._inflight_mb[id(replica)] -= size_mb
 
     def copy_to_host(
         self,
@@ -325,13 +336,13 @@ class ReplicatedWarehouseStorage:
     ) -> Generator:
         """Copy state to a node from the least-loaded replica."""
         replica = self._pick()
-        self._inflight[id(replica)] += 1
+        self._inflight_mb[id(replica)] += size_mb
         try:
             yield from replica.copy_to_host(
                 size_mb, host, files=files, pressured=pressured
             )
         finally:
-            self._inflight[id(replica)] -= 1
+            self._inflight_mb[id(replica)] -= size_mb
 
     def copy_to_host_coalesced(
         self,

@@ -19,6 +19,7 @@ Subcommands map one-to-one to the experiment drivers::
     vmplants loadtest [--requests N] [--rates R ...]
     vmplants disttree [--hosts N ...] [--fanout K]
     vmplants kernelbench [--sites N] [--shards S ...]
+    vmplants federation [--sites N ...] [--cross F ...] [--plants P]
     vmplants chaos [--mtbf S ...] [--report PATH] [--replay PATH]
     vmplants all                  # everything, in order
 """
@@ -168,6 +169,33 @@ def _kernelbench(args) -> str:
         sites=args.sites,
         shard_counts=tuple(args.shards),
         requests_per_site=args.requests_per_site,
+    )
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(result.to_record(), fh, indent=2, sort_keys=True)
+    return result.render()
+
+
+def _federation(args) -> str:
+    import json
+
+    from repro.experiments.federation import run_federation
+
+    result = run_federation(
+        seed=args.seed,
+        site_counts=tuple(args.sites),
+        cross_fractions=tuple(args.cross),
+        plants_per_site=args.plants,
+        requests_per_site=args.requests_per_site,
+        params={
+            k: v
+            for k, v in (
+                ("rack_size", args.rack_size),
+                ("spill_deadline_s", args.spill_deadline),
+            )
+            if v is not None
+        },
+        deadline_s=args.deadline,
     )
     if args.report:
         with open(args.report, "w") as fh:
@@ -392,6 +420,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the JSON record (points, speedups, fingerprint)",
     )
     kernelbench.set_defaults(runner=_kernelbench)
+
+    # Not part of ``all``: throughput columns are host wall-clock /
+    # CPU-time; one worker process per site (see DESIGN.md,
+    # "Federation & control-plane sharding").
+    federation = sub.add_parser(
+        "federation",
+        help=(
+            "federated multi-site sweep: site count x cross-site "
+            "traffic fraction, one kernel shard per site"
+        ),
+    )
+    federation.add_argument("--seed", type=int, default=2004)
+    federation.add_argument(
+        "--sites",
+        type=int,
+        nargs="+",
+        default=[1, 4, 16],
+        help="site counts to sweep (include 1 for the speedup base)",
+    )
+    federation.add_argument(
+        "--cross",
+        type=float,
+        nargs="+",
+        default=[0.0, 0.1, 0.3],
+        help="cross-site traffic fractions to sweep",
+    )
+    federation.add_argument(
+        "--plants",
+        type=int,
+        default=8,
+        help="plants per site (16 sites x 625 = the 10k-plant rung)",
+    )
+    federation.add_argument(
+        "--requests-per-site",
+        type=int,
+        default=160,
+        help="VM creation requests per site per sweep point",
+    )
+    federation.add_argument(
+        "--rack-size",
+        type=int,
+        default=None,
+        help="plants per rack broker (default: scenario default, 8)",
+    )
+    federation.add_argument(
+        "--spill-deadline",
+        type=float,
+        default=None,
+        help=(
+            "cross-site spill bid/ack deadline in simulated seconds "
+            "(default: scenario default, 400; raise it when large "
+            "sites push create latency past it)"
+        ),
+    )
+    federation.add_argument(
+        "--deadline",
+        type=float,
+        default=600.0,
+        help="wall-clock abort deadline per sharded run (seconds)",
+    )
+    federation.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="write the JSON record (points, speedups, fingerprint)",
+    )
+    federation.set_defaults(runner=_federation)
 
     # Not part of ``all``: fault-injection policy-ladder sweep (see
     # DESIGN.md, "Fault model & recovery").

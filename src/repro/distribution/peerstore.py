@@ -31,19 +31,27 @@ class PeerImageStore:
         "host",
         "cache",
         "index",
+        "site",
         "active_serves",
         "serves",
         "mb_served",
     )
 
     def __init__(
-        self, host: PhysicalHost, cache: HostStateCache, index: int
+        self,
+        host: PhysicalHost,
+        cache: HostStateCache,
+        index: int,
+        site: int = 0,
     ):
         self.host = host
         self.cache = cache
         #: Registration position; the planner's deterministic
         #: tie-break when several sources are equally loaded.
         self.index = index
+        #: Grid site the host belongs to; the planner prefers
+        #: same-site sources before crossing an inter-site boundary.
+        self.site = site
         #: Peer transfers currently reading from this host.
         self.active_serves = 0
         self.serves = 0

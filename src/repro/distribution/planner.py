@@ -117,8 +117,16 @@ class DistributionPlanner:
         self.mb_peered = 0.0
 
     # -- membership ----------------------------------------------------------
-    def register_host(self, host: PhysicalHost) -> PeerImageStore:
-        """Enroll a host (idempotent); requires a state cache to serve."""
+    def register_host(
+        self, host: PhysicalHost, site: int = 0
+    ) -> PeerImageStore:
+        """Enroll a host (idempotent); requires a state cache to serve.
+
+        ``site`` tags the host with its grid site: source picking
+        prefers same-site seeded peers over peers that would pull the
+        bytes across an inter-site boundary (all hosts default to
+        site 0, which leaves single-site behaviour unchanged).
+        """
         store = self.stores.get(host.name)
         if store is not None:
             return store
@@ -127,7 +135,9 @@ class DistributionPlanner:
                 f"host {host.name} has no state cache; the distribution "
                 f"layer serves peers from it (set peer_store_mb)"
             )
-        store = PeerImageStore(host, host.state_cache, len(self.stores))
+        store = PeerImageStore(
+            host, host.state_cache, len(self.stores), site
+        )
         self.stores[host.name] = store
         return store
 
@@ -234,6 +244,15 @@ class DistributionPlanner:
     def _pick_source(
         self, image_id: str, exclude: PeerImageStore
     ) -> Optional[PeerImageStore]:
+        """Least-busy seeded peer under the fan-out budget.
+
+        Site-aware: a seeded peer on the requester's own site always
+        outranks one whose bytes would cross an inter-site boundary
+        link, however idle the remote peer is; within a site class the
+        (active_serves, registration index) order is unchanged.  The
+        cross-site rung still exists — it is simply last before NFS —
+        and all rungs stay deterministic.
+        """
         best = None
         best_key = None
         for store in self.stores.values():
@@ -241,7 +260,11 @@ class DistributionPlanner:
                 continue
             if store.active_serves >= self.fanout:
                 continue
-            key = (store.active_serves, store.index)
+            key = (
+                0 if store.site == exclude.site else 1,
+                store.active_serves,
+                store.index,
+            )
             if best_key is None or key < best_key:
                 best, best_key = store, key
         return best
@@ -255,7 +278,17 @@ class DistributionPlanner:
         candidates = [f for f in flights if f.store is not exclude]
         if not candidates:
             return None
-        return min(candidates, key=lambda f: (f.waiters, f.seq))
+        # Same-site in-flight deliveries win for the same reason as
+        # same-site sources: the follower's eventual re-resolve then
+        # finds a local peer instead of crossing a boundary link.
+        return min(
+            candidates,
+            key=lambda f: (
+                0 if f.store.site == exclude.site else 1,
+                f.waiters,
+                f.seq,
+            ),
+        )
 
     # -- transfer legs --------------------------------------------------------
     def _register_flight(

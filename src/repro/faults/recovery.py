@@ -38,6 +38,14 @@ class RecoveryPolicy:
     quarantine_threshold: int = 0
     #: Seconds a quarantined plant sits out before a half-open probe.
     quarantine_s: float = 300.0
+    #: Federation: a site spills a request to a remote site when its
+    #: best *local* bid exceeds this cost (None = spill only when the
+    #: local site declines outright).  Read by the federation gateway,
+    #: never by the shop itself.
+    spill_threshold: Optional[float] = None
+    #: Federation: give up on a cross-site spill-over bid after this
+    #: many simulated seconds (None = wait for the remote answer).
+    spill_deadline_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.create_deadline_s is not None and self.create_deadline_s <= 0:
@@ -54,6 +62,10 @@ class RecoveryPolicy:
             raise ValueError("quarantine_threshold must be non-negative")
         if self.quarantine_s <= 0:
             raise ValueError("quarantine_s must be positive")
+        if self.spill_threshold is not None and self.spill_threshold < 0:
+            raise ValueError("spill_threshold must be non-negative")
+        if self.spill_deadline_s is not None and self.spill_deadline_s <= 0:
+            raise ValueError("spill_deadline_s must be positive")
 
     @property
     def enabled(self) -> bool:

@@ -1,0 +1,149 @@
+"""Site-local-first placement with cross-site spill-over bids.
+
+The federation's placement rule (§3.1's broker tree, stretched over
+sites): a request entering a site is first bid out *inside* that site
+only.  Cross-site traffic happens in exactly two cases —
+
+* the local site **declines** outright (no rack broker bids: every
+  plant is full or down), or
+* the local site is **saturated**: its best local bid exceeds the
+  ``spill_threshold`` of the site's
+  :class:`~repro.faults.recovery.RecoveryPolicy` (creation-cost bids
+  grow with queue depth, so a high bid *is* the saturation signal).
+
+Only then does the gateway collect bids from remote site gateways,
+bounded by ``spill_deadline_s`` so one slow WAN peer cannot stall the
+round, and dispatches the create to the cheapest remote.  Keeping
+discovery site-local first is what makes the control plane shard: the
+common-case request never leaves its site's kernel shard, and only
+spill-overs cross :class:`~repro.sim.network.BoundaryLink`\\ s.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional, Sequence
+
+from repro.core.errors import ShopError
+from repro.core.spec import CreateRequest
+from repro.faults.recovery import RecoveryPolicy
+from repro.shop.bidding import Bid
+from repro.shop.vmshop import VMShop
+
+__all__ = ["FederationGateway"]
+
+
+class FederationGateway:
+    """One site's entry point into the federated grid."""
+
+    def __init__(
+        self,
+        site: int,
+        shop: VMShop,
+        policy: Optional[RecoveryPolicy] = None,
+    ):
+        self.site = site
+        self.shop = shop
+        self.policy = policy or shop.recovery
+        #: Remote peers, in site order: anything exposing ``name``,
+        #: ``estimate(request)`` and ``create(request, vmid, ...)`` —
+        #: in grid mode the other sites' gateways themselves.
+        self.remotes: List[Any] = []
+        #: The gateway bids into the federation under this name.
+        self.name = f"site{site}-gateway"
+        # Spill accounting for the experiments/bench.
+        self.local_creates = 0
+        self.spill_creates = 0
+        self.spills_declined = 0
+        self.spills_saturated = 0
+        self.spill_failures = 0
+
+    def add_remote(self, gateway: Any) -> None:
+        if gateway is self:
+            raise ShopError("a site cannot be its own spill-over remote")
+        self.remotes.append(gateway)
+
+    # -- federation-facing bidder protocol ----------------------------------
+    def estimate(self, request: CreateRequest) -> Generator:
+        """This site's best local bid (None = site declines)."""
+        bids = yield from self.shop.estimate(request)
+        if not bids:
+            return None
+        return min(bid.cost for bid in bids)
+
+    def create(
+        self,
+        request: CreateRequest,
+        vmid: Optional[str] = None,
+        clone_mode: Optional[Any] = None,
+    ) -> Generator:
+        """Create strictly inside this site (a remote's spill target).
+
+        ``vmid`` is accepted for bidder-protocol compatibility but the
+        VM is always named by the owning site's shop — VMIDs stay
+        site-unique and routable.
+        """
+        ad = yield from self.shop.create(request, clone_mode)
+        return ad
+
+    # -- spill decision ------------------------------------------------------
+    def should_spill(self, local_bids: Sequence[Bid]) -> bool:
+        """Spill when the site declines or its best bid is saturated."""
+        if not local_bids:
+            return True
+        if self.policy.spill_threshold is None:
+            return False
+        return min(bid.cost for bid in local_bids) > self.policy.spill_threshold
+
+    # -- placement ----------------------------------------------------------
+    def place(
+        self,
+        request: CreateRequest,
+        clone_mode: Optional[Any] = None,
+    ) -> Generator:
+        """Place a request: local site first, spill-over second.
+
+        Returns ``(classad, site)`` — the classad of the created VM
+        and the site that hosts it.  Raises :class:`ShopError` when
+        the local site declines/saturates and no remote bids either.
+        """
+        local_bids = yield from self.shop.estimate(request)
+        if not self.should_spill(local_bids):
+            ad = yield from self.shop.create(request, clone_mode)
+            self.local_creates += 1
+            return ad, self.site
+        if local_bids:
+            self.spills_saturated += 1
+        else:
+            self.spills_declined += 1
+
+        remote_bids = yield from self.shop.collector.collect(
+            self.remotes, request, deadline_s=self.policy.spill_deadline_s
+        )
+        if remote_bids:
+            winner = self.shop.collector.select(remote_bids)
+            try:
+                ad = yield from self.shop.transport.call(
+                    lambda: winner.bidder.create(request, None, clone_mode)
+                )
+            except ShopError:
+                # The remote filled up between bid and create; fall
+                # back on whatever the local site can still do.
+                self.spill_failures += 1
+            else:
+                self.spill_creates += 1
+                return ad, getattr(winner.bidder, "site", -1)
+        if local_bids:
+            # Saturated is still better than failed.
+            ad = yield from self.shop.create(request, clone_mode)
+            self.local_creates += 1
+            return ad, self.site
+        raise ShopError(
+            f"site {self.site}: no local or remote plant bid for the request"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<FederationGateway site={self.site} "
+            f"local={self.local_creates} spilled={self.spill_creates} "
+            f"remotes={len(self.remotes)}>"
+        )

@@ -1,0 +1,166 @@
+"""Partitioned service registry: one shard per site, a thin router.
+
+A single grid-wide :class:`~repro.shop.registry.ServiceRegistry`
+becomes the control-plane bottleneck at 10k plants: every discover
+walks (or at best index-prunes within) one dictionary holding every
+site's services, and every publish contends on the same index.  Here
+each site keeps its *own* registry shard — publishes stay site-local,
+exactly the state a per-site kernel shard owns — and the
+:class:`FederatedRegistry` router fans a discover out only to shards
+whose :meth:`~repro.shop.registry.ServiceRegistry.may_match`
+equality-key prefilter says the query could match.  A query like
+``kind="vmplant", 'other.os == "bsd"'`` therefore touches only the
+shards that actually publish BSD plants; the rest are skipped without
+evaluating a single description.
+
+Result order is the contract that makes the router drop-in: entries
+come back grouped by ascending site, insertion-ordered within each
+shard — identical to one merged registry published in (site, local)
+order, which is what the randomized equivalence tests pin.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Union
+
+from repro.core.classad import Expression
+from repro.core.errors import ShopError
+from repro.shop.registry import ServiceEntry, ServiceRegistry
+
+__all__ = ["FederatedRegistry"]
+
+
+class FederatedRegistry:
+    """Routes registry operations across per-site shards."""
+
+    __slots__ = ("shards", "_site_of", "shards_queried", "shards_pruned")
+
+    def __init__(self) -> None:
+        self.shards: Dict[int, ServiceRegistry] = {}
+        self._site_of: Dict[str, int] = {}
+        #: Shards whose entries a discover actually evaluated.
+        self.shards_queried = 0
+        #: Shards skipped because ``may_match`` proved no entry fits.
+        self.shards_pruned = 0
+
+    # -- shard membership ---------------------------------------------------
+    def add_site(
+        self, site: int, registry: Optional[ServiceRegistry] = None
+    ) -> ServiceRegistry:
+        """Attach (or create) the shard of ``site``."""
+        if site in self.shards:
+            raise ShopError(f"site {site} already federated")
+        shard = registry if registry is not None else ServiceRegistry()
+        self.shards[site] = shard
+        return shard
+
+    def shard(self, site: int) -> ServiceRegistry:
+        try:
+            return self.shards[site]
+        except KeyError:
+            raise ShopError(f"site {site} not federated") from None
+
+    # -- publication --------------------------------------------------------
+    def publish(
+        self,
+        site: int,
+        name: str,
+        kind: str,
+        binding: Any,
+        description: Optional[Any] = None,
+    ) -> ServiceEntry:
+        """Publish into the owning site's shard.
+
+        Names are grid-unique: republishing a name from a *different*
+        site is rejected rather than silently shadowed.
+        """
+        owner = self._owner(name)
+        if owner is not None and owner != site:
+            raise ShopError(
+                f"service {name!r} already published by site {owner}"
+            )
+        entry = self.shard(site).publish(name, kind, binding, description)
+        self._site_of[name] = site
+        return entry
+
+    def unpublish(self, name: str) -> None:
+        site = self._owner(name)
+        if site is None:
+            raise ShopError(f"service {name!r} not published")
+        self._site_of.pop(name, None)
+        self.shards[site].unpublish(name)
+
+    def _owner(self, name: str) -> Optional[int]:
+        """The site shard holding ``name``.
+
+        Grid-mode sites publish straight into their own shard (the
+        shop's ``register_plant`` path), bypassing the router — so a
+        stale or missing ``_site_of`` entry falls back to a site-order
+        scan and is cached for the next lookup.
+        """
+        site = self._site_of.get(name)
+        if site is not None and name in self.shards[site]:
+            return site
+        for site in sorted(self.shards):
+            if name in self.shards[site]:
+                self._site_of[name] = site
+                return site
+        self._site_of.pop(name, None)
+        return None
+
+    # -- discovery ----------------------------------------------------------
+    def discover(
+        self,
+        kind: Optional[str] = None,
+        requirements: Optional[Union[str, Expression]] = None,
+        prefilter: bool = True,
+    ) -> List[ServiceEntry]:
+        """Federated discover: prefilter shards, then query survivors.
+
+        ``requirements`` is compiled once and shared across shards.
+        ``prefilter=False`` disables both the shard-level skip and
+        every shard's own index pruning (the exhaustive reference
+        path).
+        """
+        expr: Optional[Expression] = None
+        if requirements is not None:
+            expr = (
+                requirements
+                if isinstance(requirements, Expression)
+                else Expression(requirements)
+            )
+        results: List[ServiceEntry] = []
+        for site in sorted(self.shards):
+            shard = self.shards[site]
+            if prefilter and not shard.may_match(kind, expr):
+                self.shards_pruned += 1
+                continue
+            self.shards_queried += 1
+            results.extend(shard.discover(kind, expr, prefilter=prefilter))
+        return results
+
+    def bind(self, name: str) -> Any:
+        site = self._owner(name)
+        if site is None:
+            raise ShopError(f"service {name!r} not published")
+        return self.shards[site].bind(name)
+
+    def site_of(self, name: str) -> int:
+        """Which site published this service?"""
+        site = self._owner(name)
+        if site is None:
+            raise ShopError(f"service {name!r} not published")
+        return site
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards.values())
+
+    def __contains__(self, name: str) -> bool:
+        return self._owner(name) is not None
+
+    def __repr__(self) -> str:
+        return (
+            f"<FederatedRegistry sites={len(self.shards)} "
+            f"services={len(self)} queried={self.shards_queried} "
+            f"pruned={self.shards_pruned}>"
+        )

@@ -1,0 +1,369 @@
+"""The ``federation`` shard scenario: one site per kernel shard.
+
+Site *i* is a full :func:`~repro.federation.site.build_federated_site`
+testbed (rack brokers, site subnet block, spill gateway) living in its
+own :class:`~repro.sim.kernel.Environment`.  An open-loop Poisson
+request stream hits each site; a request leaves its site in exactly
+two cases —
+
+* it was drawn as **cross-site traffic** (probability
+  ``cross_fraction``, from the deterministic ``federation/route``
+  stream), modelling clients whose work is pinned elsewhere, or
+* the local site **declines or saturates**
+  (:meth:`~repro.federation.gateway.FederationGateway.should_spill`
+  over the local rack-broker bids).
+
+A spilled request rides the ``spill`` boundary link to the ring
+neighbour, which provisions the VM in *its* shop and answers over the
+reverse ``ack`` link; the source waits on the ack bounded by the
+policy's ``spill_deadline_s``.  Both links carry ≤4-float payloads
+and their latencies are the conservative-sync lookahead, so the
+cross-site path is exactly as parallel as the PR 6 kernel allows.
+
+Determinism: site builds, arrival times and route draws are pure
+functions of ``(seed, site, params)``, and boundary deliveries follow
+the runner's canonical order — merged-trace fingerprints are
+identical for every shard count (the contract the federation tests
+and the bench's determinism recheck pin).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from repro.faults.recovery import RecoveryPolicy
+from repro.federation.addressing import HierarchicalAddressPlan
+from repro.federation.site import FederatedSite, build_federated_site
+from repro.sim.kernel import Environment
+from repro.sim.shard.plan import LinkSpec
+from repro.sim.shard.scenarios import ShardScenario, register
+from repro.sim.trace import trace
+
+__all__ = ["FederationScenario"]
+
+
+class _FederationHandle:
+    __slots__ = (
+        "fsite",
+        "site",
+        "sites",
+        "params",
+        "times",
+        "routes",
+        "spill_link",
+        "ack_link",
+        "pending",
+        "created",
+        "destroyed",
+        "failed",
+        "spills_sent",
+        "spills_recv",
+        "spilled_ok",
+        "spill_declined",
+        "spill_saturated",
+        "spill_failed",
+        "spill_timeout",
+        "acks_sent",
+        "latencies",
+    )
+
+    def __init__(
+        self,
+        fsite: FederatedSite,
+        sites: int,
+        params: Dict[str, Any],
+        times: List[float],
+        routes: List[bool],
+    ):
+        self.fsite = fsite
+        self.site = fsite.site
+        self.sites = sites
+        self.params = params
+        self.times = times
+        #: Per-request cross-site draw (consumed in arrival order).
+        self.routes = routes
+        self.spill_link = None
+        self.ack_link = None
+        #: seq -> ack Event for spills in flight.
+        self.pending: Dict[int, Any] = {}
+        self.created = 0
+        self.destroyed = 0
+        self.failed = 0
+        self.spills_sent = 0
+        self.spills_recv = 0
+        self.spilled_ok = 0
+        self.spill_declined = 0
+        self.spill_saturated = 0
+        self.spill_failed = 0
+        self.spill_timeout = 0
+        self.acks_sent = 0
+        #: Request completion latencies (simulated s), local + spilled.
+        self.latencies: List[float] = []
+
+    @property
+    def env(self) -> Environment:
+        return self.fsite.bed.env
+
+    @property
+    def shop(self):
+        return self.fsite.bed.shop
+
+
+class FederationScenario(ShardScenario):
+    """Federated grid under load: site-local first, spill-over second."""
+
+    name = "federation"
+
+    def defaults(self) -> Dict[str, Any]:
+        return {
+            "plants": 8,
+            "rack_size": 8,
+            "networks_per_plant": 4,
+            "memory_mb": 32,
+            "rate_per_s": 2.0,
+            "requests": 160,
+            "hold_s": 40.0,
+            #: Fraction of requests pinned to the ring neighbour.
+            "cross_fraction": 0.1,
+            #: Saturation spill: best local bid above this cost spills
+            #: (None = spill only when the site declines outright).
+            "spill_threshold": None,
+            # A local create runs ~75-120 simulated s; a spill adds two
+            # WAN hops, so the default deadline only catches genuinely
+            # stuck remotes, not ordinary cross-site provisioning.
+            "spill_deadline_s": 400.0,
+            "spill_hold_s": 30.0,
+            "spill_mb": 4.0,
+            "ack_mb": 0.5,
+            "link_latency_s": 8.0,
+            "link_bandwidth_mbps": 25.0,
+        }
+
+    def link_specs(
+        self, sites: int, params: Dict[str, Any]
+    ) -> List[LinkSpec]:
+        if sites < 2:
+            return []
+        specs = []
+        for i in range(sites):
+            specs.append(
+                LinkSpec(
+                    name=f"spill{i}",
+                    src=i,
+                    dst=(i + 1) % sites,
+                    endpoint="spill",
+                    bandwidth_mbps=params["link_bandwidth_mbps"],
+                    latency_s=params["link_latency_s"],
+                )
+            )
+            specs.append(
+                LinkSpec(
+                    name=f"ack{i}",
+                    src=i,
+                    dst=(i - 1 + sites) % sites,
+                    endpoint="ack",
+                    bandwidth_mbps=params["link_bandwidth_mbps"],
+                    latency_s=params["link_latency_s"],
+                )
+            )
+        return specs
+
+    def build_site(
+        self,
+        env: Environment,
+        site: int,
+        sites: int,
+        seed: int,
+        params: Dict[str, Any],
+    ) -> _FederationHandle:
+        from repro.workloads.requests import poisson_arrivals
+
+        policy = RecoveryPolicy(
+            spill_threshold=params["spill_threshold"],
+            spill_deadline_s=params["spill_deadline_s"],
+        )
+        fsite = build_federated_site(
+            site,
+            sites,
+            seed=seed,
+            n_plants=params["plants"],
+            rack_size=params["rack_size"],
+            networks_per_plant=params["networks_per_plant"],
+            plan=HierarchicalAddressPlan(sites),
+            recovery=policy,
+            env=env,
+        )
+        times = poisson_arrivals(
+            fsite.bed.rng,
+            params["rate_per_s"],
+            params["requests"],
+            stream="federation/arrivals",
+        )
+        routes = [
+            fsite.bed.rng.uniform("federation/route", 0.0, 1.0)
+            < params["cross_fraction"]
+            for _ in range(params["requests"])
+        ]
+        return _FederationHandle(fsite, sites, params, times, routes)
+
+    def endpoints(
+        self, handle: _FederationHandle
+    ) -> Dict[str, Callable[[tuple], None]]:
+        def spill(payload: tuple) -> None:
+            handle.spills_recv += 1
+            trace(
+                handle.env,
+                "federation",
+                "spill-recv",
+                src_site=int(payload[0]),
+                seq=int(payload[1]),
+            )
+            handle.env.process(self._remote_create(handle, payload))
+
+        def ack(payload: tuple) -> None:
+            seq = int(payload[1])
+            trace(
+                handle.env,
+                "federation",
+                "ack-recv",
+                remote_site=int(payload[0]),
+                seq=seq,
+                ok=int(payload[2]),
+            )
+            evt = handle.pending.pop(seq, None)
+            if evt is not None and not evt.triggered:
+                evt.succeed(int(payload[2]))
+
+        return {"spill": spill, "ack": ack}
+
+    def start(
+        self, handle: _FederationHandle, links: Dict[str, Any]
+    ) -> None:
+        handle.spill_link = links.get(f"spill{handle.site}")
+        handle.ack_link = links.get(f"ack{handle.site}")
+        handle.env.process(self._arrivals(handle))
+
+    def collect(self, handle: _FederationHandle) -> Dict[str, Any]:
+        shop = handle.shop
+        return {
+            "created": handle.created,
+            "destroyed": handle.destroyed,
+            "failed": handle.failed,
+            "spills_sent": handle.spills_sent,
+            "spills_recv": handle.spills_recv,
+            "spilled_ok": handle.spilled_ok,
+            "spill_declined": handle.spill_declined,
+            "spill_saturated": handle.spill_saturated,
+            "spill_failed": handle.spill_failed,
+            "spill_timeout": handle.spill_timeout,
+            "acks_sent": handle.acks_sent,
+            "bid_rounds": shop.collector.collections,
+            "bids_collected": shop.collector.bids_collected,
+            "transport_calls": shop.transport.calls,
+            # Lists ride per-site (combined_stats sums numerics only).
+            "latencies": list(handle.latencies),
+        }
+
+    # -- processes ------------------------------------------------------
+    def _arrivals(self, handle: _FederationHandle):
+        env = handle.env
+        for i, at in enumerate(handle.times):
+            if at > env.now:
+                yield env.timeout(at - env.now)
+            env.process(self._one_request(handle, i))
+
+    def _one_request(self, handle: _FederationHandle, i: int):
+        from repro.core.errors import ReproError
+        from repro.workloads.requests import experiment_request
+
+        env = handle.env
+        params = handle.params
+        gateway = handle.fsite.gateway
+        start = env.now
+        request = experiment_request(
+            params["memory_mb"],
+            domain=f"site{handle.site}.grid",
+            client_id=f"s{handle.site}-r{i}",
+        )
+        spill = handle.routes[i] and handle.spill_link is not None
+        if not spill:
+            # Site-local discovery first: bid only inside the site.
+            local_bids = yield from handle.shop.estimate(request)
+            if gateway.should_spill(local_bids) and (
+                handle.spill_link is not None
+            ):
+                spill = True
+                if local_bids:
+                    handle.spill_saturated += 1
+                else:
+                    handle.spill_declined += 1
+            elif not local_bids:
+                handle.failed += 1
+                return
+            else:
+                try:
+                    ad = yield from handle.shop.create(request)
+                except ReproError:
+                    handle.failed += 1
+                    return
+                handle.created += 1
+                handle.latencies.append(env.now - start)
+                trace(env, "federation", "created-local", req=i)
+                yield env.timeout(params["hold_s"])
+                yield from handle.shop.destroy(str(ad["vmid"]))
+                handle.destroyed += 1
+                return
+        # Cross-site: one spill message out, one bounded ack wait.
+        evt = env.event()
+        handle.pending[i] = evt
+        handle.spills_sent += 1
+        trace(env, "federation", "spill-sent", req=i)
+        handle.spill_link.send(
+            payload=(handle.site, i, params["memory_mb"], 0.0),
+            size_mb=params["spill_mb"],
+        )
+        yield env.any_of(
+            [evt, env.timeout(params["spill_deadline_s"])]
+        )
+        if not evt.triggered:
+            handle.pending.pop(i, None)
+            handle.spill_timeout += 1
+            return
+        if evt.value:
+            handle.spilled_ok += 1
+            handle.latencies.append(env.now - start)
+        else:
+            handle.spill_failed += 1
+
+    def _remote_create(self, handle: _FederationHandle, payload: tuple):
+        from repro.core.errors import ReproError
+        from repro.workloads.requests import experiment_request
+
+        env = handle.env
+        params = handle.params
+        src, seq = int(payload[0]), int(payload[1])
+        request = experiment_request(
+            int(payload[2]),
+            domain=f"fed{src}.grid",
+            client_id=f"fed-{src}-{seq}",
+        )
+        ok = 1
+        ad = None
+        try:
+            ad = yield from handle.shop.create(request)
+        except ReproError:
+            ok = 0
+        if handle.ack_link is not None:
+            handle.acks_sent += 1
+            handle.ack_link.send(
+                payload=(handle.site, seq, ok, 0.0),
+                size_mb=params["ack_mb"],
+            )
+        if ad is not None:
+            handle.created += 1
+            yield env.timeout(params["spill_hold_s"])
+            yield from handle.shop.destroy(str(ad["vmid"]))
+            handle.destroyed += 1
+
+
+register(FederationScenario())

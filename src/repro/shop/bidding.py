@@ -50,6 +50,10 @@ class BidCollector:
         self.env = env
         self.transport = transport
         self.rng = rng or RngHub(0)
+        #: Lifetime counters (federation bids/sec accounting): bid
+        #: collection rounds run, and individual bids gathered.
+        self.collections = 0
+        self.bids_collected = 0
 
     def collect(
         self,
@@ -97,6 +101,8 @@ class BidCollector:
                 bids.append(
                     Bid(bidder_name=bidder.name, cost=float(cost), bidder=bidder)
                 )
+        self.collections += 1
+        self.bids_collected += len(bids)
         return bids
 
     def select(self, bids: Sequence[Bid]) -> Bid:

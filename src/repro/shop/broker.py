@@ -26,16 +26,22 @@ class VMBroker:
     def __init__(self, name: str, plants: Sequence[Any] = ()):
         self.name = name
         self.plants: List[Any] = list(plants)
-        #: Winning plant of the most recent estimate, used to route
-        #: the following create call.
-        self._last_winner: Optional[Any] = None
 
     def add_plant(self, plant: Any) -> None:
         """Register another plant (or broker) behind this broker."""
         self.plants.append(plant)
 
-    def estimate(self, request: CreateRequest) -> Optional[float]:
-        """Best bid among fronted plants (None when all decline)."""
+    def _best(
+        self, request: CreateRequest
+    ) -> "tuple[Optional[float], Optional[Any]]":
+        """Best (cost, plant) for the request right now.
+
+        Routing is keyed to the request being processed: the winner is
+        computed per call and never parked in shared broker state, so
+        interleaved estimate/create generators for different requests
+        under concurrent load cannot clobber each other's routing (the
+        former ``_last_winner`` attribute).
+        """
         best_cost: Optional[float] = None
         best_plant: Optional[Any] = None
         for plant in self.plants:
@@ -45,8 +51,12 @@ class VMBroker:
             if best_cost is None or cost < best_cost:
                 best_cost = cost
                 best_plant = plant
-        self._last_winner = best_plant
-        return best_cost
+        return best_cost, best_plant
+
+    def estimate(self, request: CreateRequest) -> Optional[float]:
+        """Best bid among fronted plants (None when all decline)."""
+        cost, _ = self._best(request)
+        return cost
 
     def create(
         self,
@@ -56,9 +66,8 @@ class VMBroker:
     ) -> Generator:
         """Route creation to the current best plant for the request."""
         # Re-estimate at create time: plant state may have moved since
-        # the bid was collected.
-        self.estimate(request)
-        plant = self._last_winner
+        # the bid was collected.  The winner stays local to this call.
+        _, plant = self._best(request)
         if plant is None:
             raise ShopError(
                 f"broker {self.name}: no plant can host the request"

@@ -20,6 +20,7 @@ from repro.faults.recovery import RecoveryPolicy
 from repro.plant.vmplant import VMPlant
 from repro.provisioning import ProvisioningConfig
 from repro.plant.warehouse import GoldenImage, VMWarehouse
+from repro.shop.broker import VMBroker
 from repro.shop.protocol import Transport
 from repro.shop.registry import ServiceRegistry
 from repro.shop.vmshop import VMShop
@@ -71,6 +72,10 @@ class Testbed:
     #: Popularity-driven replica placer (None unless enabled; not
     #: auto-started — call ``placer.start()`` like the VM monitor).
     placer: Optional[object] = None
+    #: Rack-level :class:`~repro.shop.broker.VMBroker` tier (empty
+    #: unless built with ``rack_size``); when present the shop bids
+    #: against these brokers, not the plants directly.
+    racks: List[VMBroker] = field(default_factory=list)
 
     def run(self, generator) -> object:
         """Drive one process generator to completion on this env."""
@@ -116,6 +121,10 @@ def build_testbed(
     env: Optional[Environment] = None,
     sites: int = 1,
     shards: int = 1,
+    rack_size: Optional[int] = None,
+    address_block: Optional[object] = None,
+    name_prefix: str = "",
+    site: int = 0,
 ):
     """Assemble the simulated site.
 
@@ -137,6 +146,19 @@ def build_testbed(
     describing ``sites`` independent copies of this testbed, packed
     into ``shards`` worker processes (see ``repro.sim.shard``).  The
     classic single-site path is untouched when both are 1.
+
+    Federation knobs (all inert by default): ``rack_size`` inserts a
+    rack-level :class:`~repro.shop.broker.VMBroker` tier — plants are
+    grouped into brokers of that size and the shop bids against the
+    brokers (one transport call per rack, not per plant), the §3.1
+    "indirectly through VMBrokers" path.  ``address_block`` (a
+    :class:`~repro.federation.addressing.SubnetBlock`) makes every
+    plant pool draw its host-only subnets from the site's block of
+    the grid address plan instead of the flat ``192.168/16`` default.
+    ``name_prefix`` disambiguates service/host names when several
+    sites share a federated registry; ``site`` tags the site index
+    onto site-aware components (the distribution planner's peer
+    stores).
     """
     if sites != 1 or shards != 1:
         from repro.sim.shard.plan import ShardedTestbed
@@ -154,6 +176,8 @@ def build_testbed(
         )
     if n_plants <= 0:
         raise ValueError("n_plants must be positive")
+    if rack_size is not None and rack_size <= 0:
+        raise ValueError("rack_size must be positive")
     prov = provisioning or ProvisioningConfig()
     if env is None:
         env = Environment()
@@ -163,11 +187,13 @@ def build_testbed(
     if nfs_replicas < 1:
         raise ValueError("nfs_replicas must be >= 1")
     if nfs_replicas == 1:
-        nfs = NFSServer(env, "nfs", latency=latency, rng=rng)
+        nfs = NFSServer(env, f"{name_prefix}nfs", latency=latency, rng=rng)
     else:
         nfs = ReplicatedWarehouseStorage(
             [
-                NFSServer(env, f"nfs{i}", latency=latency, rng=rng)
+                NFSServer(
+                    env, f"{name_prefix}nfs{i}", latency=latency, rng=rng
+                )
                 for i in range(nfs_replicas)
             ]
         )
@@ -199,7 +225,7 @@ def build_testbed(
     )
     shop = VMShop(
         env,
-        "vmshop",
+        f"{name_prefix}vmshop",
         transport=transport,
         rng=rng,
         registry=registry,
@@ -219,7 +245,7 @@ def build_testbed(
     for i in range(n_plants):
         host = PhysicalHost(
             env,
-            f"node{i}",
+            f"{name_prefix}node{i}",
             memory_mb=host_memory_mb,
             latency=latency,
             state_cache=(
@@ -228,7 +254,7 @@ def build_testbed(
         )
         hosts.append(host)
         if distribution is not None:
-            distribution.register_host(host)
+            distribution.register_host(host, site=site)
         lines = {}
         for vm_type in vm_types:
             line_cls = VMwareLine if vm_type == "vmware" else UMLLine
@@ -247,19 +273,36 @@ def build_testbed(
             lines_by_type[vm_type].append(line)
         plant = VMPlant(
             env,
-            f"plant{i}",
+            f"{name_prefix}plant{i}",
             warehouse,
             lines,
             cost_model=cost_model or MemoryAvailableCost(),
             host_memory_mb=int(host_memory_mb),
             max_vms=max_vms_per_plant,
             network_pool=HostOnlyNetworkPool(
-                f"plant{i}", count=networks_per_plant
+                f"{name_prefix}plant{i}",
+                count=networks_per_plant,
+                subnets=(
+                    address_block.allocate_many(networks_per_plant)
+                    if address_block is not None
+                    else None
+                ),
             ),
             vnet_service=vnet,
         )
         plants.append(plant)
-        shop.register_plant(plant)
+        if rack_size is None:
+            shop.register_plant(plant)
+        else:
+            # Plants stay discoverable, but the shop bids through the
+            # rack broker tier built below.
+            describe = getattr(plant, "description_ad", None)
+            registry.publish(
+                plant.name,
+                "vmplant",
+                plant,
+                description=describe() if describe else None,
+            )
         if prov.speculative_pools:
             from repro.plant.speculative import AdaptiveSpeculativePool
 
@@ -274,6 +317,17 @@ def build_testbed(
             )
             plant.attach_speculative(manager)
             pools.append(manager)
+
+    racks: List[VMBroker] = []
+    if rack_size is not None:
+        for j in range(0, n_plants, rack_size):
+            rack = VMBroker(
+                f"{name_prefix}rack{j // rack_size}",
+                plants[j : j + rack_size],
+            )
+            racks.append(rack)
+            shop.bidders.append(rack)
+            registry.publish(rack.name, "vmbroker", rack)
 
     placer = None
     if prov.replica_placement and distribution is not None:
@@ -305,4 +359,5 @@ def build_testbed(
         pools=pools,
         distribution=distribution,
         placer=placer,
+        racks=racks,
     )

@@ -15,8 +15,9 @@ allocation from this pool.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.core.errors import VNetError
 
@@ -41,20 +42,31 @@ class HostOnlyNetwork:
 
 
 class IPAllocator:
-    """Sequential guest-IP assignment within one host-only subnet."""
+    """Sequential guest-IP assignment within one host-only subnet.
+
+    Release/reuse is O(1): returned addresses go on a deque (FIFO, so
+    reuse order matches the former ``list.pop(0)`` behaviour without
+    its O(n) shift) with a membership set guarding against the same
+    address being returned twice — a double release would otherwise
+    hand one address to two guests and silently break the isolation
+    story at federation scale.
+    """
 
     def __init__(self, subnet: str, first_host: int = 2, last_host: int = 254):
         if not 0 < first_host <= last_host <= 254:
             raise ValueError("invalid host address range")
         self.subnet = subnet
+        self._first = first_host
         self._next = first_host
         self._last = last_host
-        self._released: List[int] = []
+        self._released: "deque[int]" = deque()
+        self._released_set: Set[int] = set()
 
     def allocate(self) -> str:
         """Next free address in the subnet."""
         if self._released:
-            host = self._released.pop(0)
+            host = self._released.popleft()
+            self._released_set.discard(host)
         elif self._next <= self._last:
             host = self._next
             self._next += 1
@@ -63,11 +75,23 @@ class IPAllocator:
         return f"{self.subnet}.{host}"
 
     def release(self, address: str) -> None:
-        """Return an address to the pool."""
-        prefix, _, host = address.rpartition(".")
+        """Return an address to the pool.
+
+        Raises :class:`VNetError` for addresses outside the subnet,
+        never handed out, or already released (double release).
+        """
+        prefix, _, host_s = address.rpartition(".")
         if prefix != self.subnet:
             raise VNetError(f"{address} not in subnet {self.subnet}")
-        self._released.append(int(host))
+        host = int(host_s)
+        if not self._first <= host < self._next:
+            raise VNetError(
+                f"{address} was never allocated from {self.subnet}"
+            )
+        if host in self._released_set:
+            raise VNetError(f"{address} released twice")
+        self._released.append(host)
+        self._released_set.add(host)
 
 
 @dataclass(frozen=True)
@@ -88,6 +112,13 @@ class HostOnlyNetworkPool:
     free list: ``"sticky"`` keeps it assigned forever (the paper's
     one-time-charge illustration), ``"refcount"`` frees it once the
     domain's last VM is collected.
+
+    ``subnets`` assigns the switches *explicit* subnets instead of the
+    flat ``{subnet_base}.{100+i}`` scheme — this is how a federated
+    site's :class:`~repro.federation.addressing.SubnetBlock` hands
+    each plant globally unique address space (site prefix → subnet
+    block → host range) instead of every plant in the grid reusing
+    the same four ``192.168.10x`` subnets.
     """
 
     def __init__(
@@ -96,7 +127,15 @@ class HostOnlyNetworkPool:
         count: int = 4,
         release_policy: str = "sticky",
         subnet_base: str = "192.168",
+        subnets: Optional[Sequence[str]] = None,
     ):
+        if subnets is not None:
+            subnets = list(subnets)
+            if not subnets:
+                raise ValueError("subnets must be non-empty when given")
+            if len(set(subnets)) != len(subnets):
+                raise ValueError("subnets must be distinct")
+            count = len(subnets)
         if count <= 0:
             raise ValueError("count must be positive")
         if release_policy not in ("sticky", "refcount"):
@@ -106,7 +145,11 @@ class HostOnlyNetworkPool:
         self.networks: List[HostOnlyNetwork] = [
             HostOnlyNetwork(
                 network_id=f"{plant_name}/vmnet{i}",
-                subnet=f"{subnet_base}.{100 + i}",
+                subnet=(
+                    subnets[i]
+                    if subnets is not None
+                    else f"{subnet_base}.{100 + i}"
+                ),
             )
             for i in range(count)
         ]

@@ -1,0 +1,406 @@
+"""Federated multi-site control plane: addressing, registry, spill-over.
+
+Pins the three federation contracts from the PR 8 acceptance list:
+
+* **hierarchical vnet allocation** — site blocks are disjoint pure
+  functions of ``(sites, base_octet, subnets_per_site)``, exhaust with
+  :class:`VNetError`, reuse released subnets FIFO, and reject foreign
+  or double releases;
+* **sharded registry equivalence** — a randomized
+  :class:`FederatedRegistry` discover (with and without the
+  ``may_match`` shard prefilter) returns exactly what one merged
+  :class:`ServiceRegistry` holding every site's entries would, in the
+  same order;
+* **determinism across shard counts** — the ``federation`` scenario's
+  merged-trace fingerprint is identical at 1, 2 and 4 shards, and the
+  classic single-site testbed is untouched by the federation plumbing.
+
+Plus the grid-mode wiring: rack brokers in front of the shop,
+site-prefixed names, and the gateway's local-first / spill-over
+placement ladder.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.classad import ClassAd
+from repro.core.errors import ShopError, VNetError
+from repro.faults.recovery import RecoveryPolicy
+from repro.federation.addressing import (
+    ADDRESSES_PER_SUBNET,
+    HierarchicalAddressPlan,
+    SubnetBlock,
+)
+from repro.federation.gateway import FederationGateway
+from repro.federation.registry import FederatedRegistry
+from repro.federation.site import build_federated_grid
+from repro.shop.bidding import Bid
+from repro.shop.registry import ServiceRegistry
+from repro.sim.cluster import build_testbed
+from repro.sim.shard import ShardedTestbed
+from repro.workloads.requests import experiment_request
+
+
+# ---------------------------------------------------------------------------
+# Hierarchical vnet allocation
+# ---------------------------------------------------------------------------
+
+
+class TestSubnetBlock:
+    def test_sequential_allocation_format(self):
+        block = SubnetBlock(site=0, base_octet=10, start=0, count=4)
+        assert block.allocate_many(4) == [
+            "10.0.0", "10.0.1", "10.0.2", "10.0.3"
+        ]
+
+    def test_index_arithmetic_crosses_octet_boundary(self):
+        block = SubnetBlock(site=1, base_octet=10, start=255, count=2)
+        assert block.allocate_many(2) == ["10.0.255", "10.1.0"]
+
+    def test_exhaustion_raises(self):
+        block = SubnetBlock(site=0, base_octet=10, start=0, count=3)
+        block.allocate_many(3)
+        assert block.remaining == 0
+        with pytest.raises(VNetError, match="exhausted"):
+            block.allocate()
+
+    def test_release_reuse_is_fifo(self):
+        block = SubnetBlock(site=0, base_octet=10, start=0, count=3)
+        a, b, c = block.allocate_many(3)
+        block.release(b)
+        block.release(a)
+        # Released subnets come back in release order, before any
+        # (here impossible) cursor advance.
+        assert block.allocate() == b
+        assert block.allocate() == a
+        assert block.allocated == 3
+
+    def test_double_release_rejected(self):
+        block = SubnetBlock(site=0, base_octet=10, start=0, count=2)
+        sub = block.allocate()
+        block.release(sub)
+        with pytest.raises(VNetError, match="twice"):
+            block.release(sub)
+
+    def test_never_allocated_release_rejected(self):
+        block = SubnetBlock(site=0, base_octet=10, start=0, count=8)
+        block.allocate()
+        with pytest.raises(VNetError, match="never allocated"):
+            block.release("10.0.5")
+
+    def test_foreign_subnet_release_rejected(self):
+        plan = HierarchicalAddressPlan(4, subnets_per_site=16)
+        site0, site1 = plan.block(0), plan.block(1)
+        stolen = site1.allocate()
+        assert stolen not in site0
+        with pytest.raises(VNetError, match="another site"):
+            site0.release(stolen)
+
+    def test_malformed_subnet_rejected(self):
+        block = SubnetBlock(site=0, base_octet=10, start=0, count=2)
+        for bad in ("192.168.0", "10.0", "10.x.0", "10.999.0"):
+            with pytest.raises(VNetError):
+                block.release(bad)
+            assert bad not in block
+
+
+class TestHierarchicalAddressPlan:
+    def test_site_blocks_are_disjoint(self):
+        plan = HierarchicalAddressPlan(4, subnets_per_site=32)
+        seen = set()
+        for site in range(4):
+            subnets = set(plan.block(site).allocate_many(32))
+            assert len(subnets) == 32
+            assert not (subnets & seen)
+            seen |= subnets
+
+    def test_plan_is_pure_function_of_inputs(self):
+        """Two independent plan instances (two forked workers) derive
+        the same block for the same site."""
+        first = HierarchicalAddressPlan(8).block(5)
+        second = HierarchicalAddressPlan(8).block(5)
+        assert first.allocate_many(10) == second.allocate_many(10)
+
+    def test_sixteen_sites_pass_the_million_address_rung(self):
+        plan = HierarchicalAddressPlan(16)
+        assert plan.subnets_per_site == 4096
+        assert plan.site_capacity == 4096 * ADDRESSES_PER_SUBNET
+        assert plan.site_capacity > 1_000_000
+        assert plan.total_capacity == 16 * plan.site_capacity
+
+    def test_site_of_reverse_lookup(self):
+        plan = HierarchicalAddressPlan(4, subnets_per_site=256)
+        for site in (0, 1, 3):
+            sub = plan.block(site).allocate()
+            assert plan.site_of(sub) == site
+            assert plan.site_of(sub + ".17") == site  # full guest IP
+        with pytest.raises(VNetError, match="outside"):
+            plan.site_of("10.255.255")  # past site 3's block
+
+    def test_exhaustion_is_per_site(self):
+        plan = HierarchicalAddressPlan(2, subnets_per_site=2)
+        plan.block(0).allocate_many(2)
+        with pytest.raises(VNetError):
+            plan.block(0).allocate()
+        # Site 1's block is untouched by site 0 running dry.
+        assert plan.block(1).allocate() == "10.0.2"
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            HierarchicalAddressPlan(0)
+        with pytest.raises(ValueError):
+            HierarchicalAddressPlan(4, base_octet=0)
+        with pytest.raises(ValueError):
+            HierarchicalAddressPlan(4, subnets_per_site=65536)
+        with pytest.raises(ValueError):
+            HierarchicalAddressPlan(2).block(2)
+
+
+# ---------------------------------------------------------------------------
+# Federated registry vs one merged registry
+# ---------------------------------------------------------------------------
+
+_OSES = ("linux", "bsd", "Solaris")
+_VM_TYPES = ("vmware", "uml")
+_KINDS = ("vmplant", "vmbroker", "warehouse")
+
+_QUERIES = (
+    (None, None),
+    ("vmplant", None),
+    ("vmplant", 'other.os == "linux"'),
+    ("vmplant", 'other.os == "bsd" && other.vm_type == "uml"'),
+    (None, 'other.vm_type == "vmware" && other.slot > 2'),
+    ("vmbroker", "other.slot >= 0"),
+    ("vmplant", 'other.os == "plan9"'),  # matches nothing anywhere
+    ("warehouse", 'other.name == "svc-1-0"'),
+)
+
+
+def _random_description(rng: random.Random, name: str, kind: str) -> ClassAd:
+    ad = ClassAd({"name": name, "kind": kind})
+    if rng.random() < 0.85:
+        ad["os"] = rng.choice(_OSES)
+    if rng.random() < 0.8:
+        ad["vm_type"] = rng.choice(_VM_TYPES)
+    ad["slot"] = rng.randrange(0, 8)
+    if rng.random() < 0.1:
+        ad.set_expression("os", '"li" + "nux"')
+    return ad
+
+
+def _random_federation(rng: random.Random, sites: int):
+    """The same random entries published into a router and one merged
+    registry, in identical (site, local insertion) order."""
+    fed = FederatedRegistry()
+    merged = ServiceRegistry()
+    for site in range(sites):
+        fed.add_site(site)
+    for site in range(sites):
+        for i in range(rng.randrange(1, 9)):
+            name = f"svc-{site}-{i}"
+            kind = rng.choice(_KINDS)
+            description = _random_description(rng, name, kind)
+            fed.publish(site, name, kind, object(), description)
+            merged.publish(name, kind, object(), description)
+    return fed, merged
+
+
+class TestFederatedRegistryEquivalence:
+    def test_randomized_discover_matches_merged_registry(self):
+        rng = random.Random(2004)
+        for trial in range(25):
+            fed, merged = _random_federation(rng, rng.randrange(1, 6))
+            for kind, query in _QUERIES:
+                reference = [
+                    e.name
+                    for e in merged.discover(kind, query, prefilter=False)
+                ]
+                for prefilter in (True, False):
+                    got = [
+                        e.name
+                        for e in fed.discover(kind, query, prefilter=prefilter)
+                    ]
+                    assert got == reference, (
+                        f"trial={trial} kind={kind} query={query!r} "
+                        f"prefilter={prefilter}"
+                    )
+
+    def test_result_order_groups_by_ascending_site(self):
+        fed = FederatedRegistry()
+        for site in (2, 0, 1):  # attach out of order on purpose
+            fed.add_site(site)
+        for site in (1, 2, 0):  # publish out of order too
+            fed.publish(site, f"p{site}", "vmplant", object())
+        assert [e.name for e in fed.discover("vmplant")] == [
+            "p0", "p1", "p2"
+        ]
+
+    def test_prefilter_actually_prunes_shards(self):
+        fed = FederatedRegistry()
+        for site in range(4):
+            fed.add_site(site)
+            os = "bsd" if site == 3 else "linux"
+            fed.publish(
+                site, f"p{site}", "vmplant", object(),
+                ClassAd({"name": f"p{site}", "kind": "vmplant", "os": os}),
+            )
+        found = fed.discover("vmplant", 'other.os == "bsd"')
+        assert [e.name for e in found] == ["p3"]
+        # Three shards hold only linux plants: may_match proves no
+        # entry can satisfy the equality conjunct, so they are skipped.
+        assert fed.shards_pruned == 3
+        assert fed.shards_queried == 1
+
+    def test_cross_site_name_collision_rejected(self):
+        fed = FederatedRegistry()
+        fed.add_site(0)
+        fed.add_site(1)
+        fed.publish(0, "dup", "vmplant", object())
+        with pytest.raises(ShopError, match="already published by site 0"):
+            fed.publish(1, "dup", "vmplant", object())
+        # Same-site republish is a plain replace, as in one registry.
+        fed.publish(0, "dup", "vmshop", object())
+        assert fed.site_of("dup") == 0
+        assert len(fed) == 1
+
+    def test_router_resyncs_with_direct_shard_publishes(self):
+        """Grid-mode shops publish straight into their site shard; the
+        router must still route bind/unpublish for those names."""
+        fed = FederatedRegistry()
+        shard = fed.add_site(2)
+        binding = object()
+        shard.publish("stealth", "vmplant", binding)
+        assert "stealth" in fed
+        assert fed.site_of("stealth") == 2
+        assert fed.bind("stealth") is binding
+        fed.unpublish("stealth")
+        assert "stealth" not in shard
+        with pytest.raises(ShopError, match="not published"):
+            fed.bind("stealth")
+
+    def test_duplicate_site_rejected(self):
+        fed = FederatedRegistry()
+        fed.add_site(0)
+        with pytest.raises(ShopError, match="already federated"):
+            fed.add_site(0)
+        with pytest.raises(ShopError, match="not federated"):
+            fed.shard(9)
+
+
+# ---------------------------------------------------------------------------
+# Grid-mode wiring and the spill-over gateway
+# ---------------------------------------------------------------------------
+
+
+def _bid(cost: float) -> Bid:
+    return Bid(bidder_name=f"b{cost}", cost=cost, bidder=object())
+
+
+class TestFederatedGrid:
+    def test_sites_share_one_kernel_with_disjoint_state(self):
+        grid = build_federated_grid(2, seed=3, n_plants=2, rack_size=2)
+        assert grid.sites[0].bed.env is grid.sites[1].bed.env
+        # Site-prefixed service names route through the federated view.
+        assert grid.registry.site_of("site0-plant0") == 0
+        assert grid.registry.site_of("site1-vmshop") == 1
+        plants = grid.registry.discover("vmplant")
+        assert [e.name for e in plants] == [
+            "site0-plant0", "site0-plant1",
+            "site1-plant0", "site1-plant1",
+        ]
+        # Each site's pools draw from its own subnet block.
+        pools0 = {
+            net.subnet
+            for p in grid.sites[0].bed.plants
+            for net in p.network_pool.networks
+        }
+        pools1 = {
+            net.subnet
+            for p in grid.sites[1].bed.plants
+            for net in p.network_pool.networks
+        }
+        assert pools0 and pools1 and not (pools0 & pools1)
+
+    def test_rack_brokers_front_the_shop(self):
+        grid = build_federated_grid(1, seed=3, n_plants=4, rack_size=2)
+        site = grid.sites[0]
+        assert [r.name for r in site.racks] == ["site0-rack0", "site0-rack1"]
+        # The shop bids against the broker tier, not plants directly.
+        assert site.shop.bidders == site.racks
+        ad = grid.run(site.shop.create(experiment_request(32)))
+        assert str(ad["vmid"]).startswith("site0-vmshop-vm-")
+
+    def test_gateway_spills_when_local_site_declines(self):
+        grid = build_federated_grid(
+            2, seed=3, n_plants=1, rack_size=1, max_vms_per_plant=1
+        )
+        gw0 = grid.sites[0].gateway
+        # Fill site 0's single slot: the next request gets no local bid.
+        ad, site = grid.run(gw0.place(experiment_request(32)))
+        assert site == 0 and gw0.local_creates == 1
+        ad, site = grid.run(gw0.place(experiment_request(32)))
+        assert site == 1
+        assert gw0.spill_creates == 1 and gw0.spills_declined == 1
+        assert str(ad["vmid"]).startswith("site1-")
+        # Both sites full: the placement ladder runs out.
+        with pytest.raises(ShopError, match="no local or remote"):
+            grid.run(gw0.place(experiment_request(32)))
+
+    def test_should_spill_threshold(self):
+        grid = build_federated_grid(
+            2, seed=3, n_plants=1, rack_size=1,
+            recovery=RecoveryPolicy(spill_threshold=50.0),
+        )
+        gw = grid.sites[0].gateway
+        assert gw.should_spill([])  # decline: no bids at all
+        assert not gw.should_spill([_bid(10.0), _bid(60.0)])
+        assert gw.should_spill([_bid(51.0)])  # saturated
+        # No threshold configured: never spill while the site bids.
+        gw_free = FederationGateway(0, grid.sites[0].shop, RecoveryPolicy())
+        assert not gw_free.should_spill([_bid(1e9)])
+        assert gw_free.should_spill([])
+
+    def test_gateway_rejects_self_as_remote(self):
+        grid = build_federated_grid(1, seed=3, n_plants=1, rack_size=1)
+        gw = grid.sites[0].gateway
+        assert gw.remotes == []
+        with pytest.raises(ShopError, match="own spill-over"):
+            gw.add_remote(gw)
+
+
+# ---------------------------------------------------------------------------
+# Determinism across shard counts; classic testbed untouched
+# ---------------------------------------------------------------------------
+
+
+class TestFederationDeterminism:
+    def test_fingerprint_identical_at_1_2_4_shards(self):
+        params = {"plants": 2, "requests": 10, "cross_fraction": 0.3}
+        runs = {}
+        for shards in (1, 2, 4):
+            plan = ShardedTestbed(
+                seed=13, sites=4, shards=shards, scenario="federation"
+            )
+            runs[shards] = plan.run(
+                params=params, collect="fingerprint", deadline_s=120.0
+            )
+        fps = {s: r.fingerprint() for s, r in runs.items()}
+        assert len(set(fps.values())) == 1, fps
+        events = {s: r.total_events for s, r in runs.items()}
+        assert len(set(events.values())) == 1, events
+        stats = runs[4].combined_stats()
+        assert stats["created"] == 4 * 10
+        assert stats["failed"] == 0 and stats["spill_timeout"] == 0
+
+    def test_classic_testbed_is_untouched_by_federation_plumbing(self):
+        """Default ``build_testbed`` must keep the golden-trace shape:
+        unprefixed names, plants bidding directly, no rack tier."""
+        bed = build_testbed(seed=1, n_plants=2)
+        assert bed.racks == []
+        assert "plant0" in bed.registry and "vmshop" in bed.registry
+        assert bed.shop.bidders == bed.plants
+        with pytest.raises(ValueError):
+            build_testbed(seed=1, n_plants=2, rack_size=0)

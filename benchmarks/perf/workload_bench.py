@@ -1,0 +1,129 @@
+"""Workload benchmark: trace-driven megaload requests/sec by shards.
+
+Runs the ``megaload`` sweep (see
+:mod:`repro.experiments.megaload`) and appends one record to
+``benchmarks/results/BENCH_workload.json`` so sustained requests/sec
+(wall and per-CPU aggregate), latency quantiles from the merged
+streaming sketches, and peak worker RSS are tracked as a trajectory
+across commits.  Each record carries both megaload invariants: the
+merged-trace fingerprint is identical across shard counts and
+repeats, and the merged per-site summary state is bit-identical at
+every shard count.
+
+Run::
+
+    PYTHONPATH=src python -m benchmarks.perf.workload_bench            # paper sweep
+    PYTHONPATH=src python -m benchmarks.perf.workload_bench --small    # CI smoke
+    PYTHONPATH=src python -m benchmarks.perf.workload_bench --million  # 1M-request rung
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import tempfile
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.experiments.megaload import run_megaload
+
+__all__ = [
+    "WORKLOAD_BENCH_PATH",
+    "run_workload_bench",
+    "load_workload_trajectory",
+]
+
+WORKLOAD_BENCH_PATH = Path(__file__).resolve().parent.parent / (
+    "results"
+) / "BENCH_workload.json"
+
+PAPER_SEED = 2004
+
+#: The three rungs: (sites, shard_counts, requests_per_site).
+RUNGS = {
+    "small": (4, (1, 4), 100),
+    "paper": (8, (1, 4, 8), 2000),
+    # 16 x 62500 = 1,000,000 requests; one site per shard.  Streaming
+    # sketches + lazy traces keep every worker's RSS flat, which is
+    # the number this rung exists to record.
+    "million": (16, (16,), 62_500),
+}
+
+
+def run_workload_bench(
+    workload: str = "paper", out: Optional[Path] = None
+) -> dict:
+    """Run one rung; append the record to the trajectory file."""
+    sites, shard_counts, requests = RUNGS[workload]
+    result = run_megaload(
+        seed=PAPER_SEED,
+        sites=sites,
+        shard_counts=shard_counts,
+        requests_per_site=requests,
+        determinism_requests=40 if workload != "small" else 16,
+        deadline_s=None,
+        trace_capacity=100_000,
+    )
+    record = {
+        "timestamp": time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+        ),
+        "workload": workload,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+    }
+    record.update(result.to_record())
+    path = out or WORKLOAD_BENCH_PATH
+    trajectory = load_workload_trajectory(path)
+    trajectory.append(record)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    with os.fdopen(fd, "w") as fh:
+        json.dump(trajectory, fh, indent=2)
+        fh.write("\n")
+    os.replace(tmp, path)
+    print(result.render())
+    return record
+
+
+def load_workload_trajectory(path: Optional[Path] = None) -> list:
+    """The recorded benchmark trajectory (empty if absent/corrupt)."""
+    path = path or WORKLOAD_BENCH_PATH
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+        return data if isinstance(data, list) else []
+    except (OSError, ValueError):
+        return []
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--small",
+        action="store_true",
+        help="scaled-down sweep (CI smoke)",
+    )
+    parser.add_argument(
+        "--million",
+        action="store_true",
+        help="the 1,000,000-request rung (16 sites x 62500)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="trajectory file path"
+    )
+    args = parser.parse_args()
+    if args.small and args.million:
+        parser.error("--small and --million are mutually exclusive")
+    workload = (
+        "small" if args.small else "million" if args.million else "paper"
+    )
+    record = run_workload_bench(workload=workload, out=args.out)
+    print(json.dumps(record, indent=2))
+
+
+if __name__ == "__main__":
+    main()

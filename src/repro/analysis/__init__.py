@@ -14,6 +14,13 @@ from repro.analysis.histograms import (
     histogram,
 )
 from repro.analysis.stats import Summary, sequence_series, summarize
+from repro.analysis.streaming import (
+    ExactSum,
+    Moments,
+    QuantileSketch,
+    StreamSummary,
+    WorkloadSummary,
+)
 from repro.analysis.tables import (
     render_histogram_table,
     render_series,
@@ -21,6 +28,11 @@ from repro.analysis.tables import (
 )
 
 __all__ = [
+    "ExactSum",
+    "Moments",
+    "QuantileSketch",
+    "StreamSummary",
+    "WorkloadSummary",
     "clone_records_to_rows",
     "histograms_to_rows",
     "rows_to_csv",

@@ -16,11 +16,13 @@ Subcommands map one-to-one to the experiment drivers::
     vmplants matching
     vmplants resilience
     vmplants replicas
-    vmplants loadtest [--requests N] [--rates R ...]
+    vmplants loadtest [--requests N] [--rates R ...] [--streaming]
     vmplants disttree [--hosts N ...] [--fanout K]
     vmplants kernelbench [--sites N] [--shards S ...]
     vmplants federation [--sites N ...] [--cross F ...] [--plants P]
     vmplants chaos [--mtbf S ...] [--report PATH] [--replay PATH]
+    vmplants megaload [--sites N] [--shards S ...]
+                      [--requests-per-site N]
     vmplants all                  # everything, in order
 """
 
@@ -129,7 +131,38 @@ def _loadtest(args) -> str:
         requests=args.requests,
         rates=tuple(args.rates),
         cache_mb=args.cache_mb,
+        streaming=args.streaming,
+        trace_capacity=args.trace_capacity,
     ).render()
+
+
+def _megaload(args) -> str:
+    import json
+
+    from repro.experiments.megaload import run_megaload
+
+    result = run_megaload(
+        seed=args.seed,
+        sites=args.sites,
+        shard_counts=tuple(args.shards),
+        requests_per_site=args.requests_per_site,
+        params={
+            k: v
+            for k, v in (
+                ("plants", args.plants),
+                ("cross_fraction", args.cross),
+                ("rate_per_s", args.rate),
+                ("spill_deadline_s", args.spill_deadline),
+            )
+            if v is not None
+        },
+        deadline_s=args.deadline,
+        trace_capacity=args.trace_capacity,
+    )
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(result.to_record(), fh, indent=2, sort_keys=True)
+    return result.render()
 
 
 def _disttree(args) -> str:
@@ -351,6 +384,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=512.0,
         help="per-host golden-state cache budget",
     )
+    loadtest.add_argument(
+        "--streaming",
+        action="store_true",
+        help=(
+            "summarize latencies with constant-memory streaming "
+            "sketches (identical fingerprints; quantiles within the "
+            "sketch's relative error)"
+        ),
+    )
+    loadtest.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "attach a bounded N-event tracer to every run and report "
+            "dropped events (default: no tracer)"
+        ),
+    )
     loadtest.set_defaults(runner=_loadtest)
 
     # Not part of ``all``: a scale-out ladder far beyond the paper's
@@ -534,6 +586,86 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     chaos.set_defaults(runner=_chaos)
+
+    # Not part of ``all``: requests/sec columns are host wall-clock /
+    # CPU-time (see DESIGN.md, "Workload engine & streaming metrics").
+    megaload = sub.add_parser(
+        "megaload",
+        help=(
+            "trace-driven multi-tenant load on federated sites with "
+            "streaming metrics; scales to a million requests"
+        ),
+    )
+    megaload.add_argument("--seed", type=int, default=2004)
+    megaload.add_argument(
+        "--sites",
+        type=int,
+        default=4,
+        help="federated sites (one kernel shard per site at the max)",
+    )
+    megaload.add_argument(
+        "--shards",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4],
+        help="shard counts to sweep (must not exceed --sites)",
+    )
+    megaload.add_argument(
+        "--requests-per-site",
+        type=int,
+        default=250,
+        help=(
+            "requests per site (16 sites x 62500 = the 1M-request "
+            "rung)"
+        ),
+    )
+    megaload.add_argument(
+        "--plants",
+        type=int,
+        default=None,
+        help="plants per site (default: scenario default, 8)",
+    )
+    megaload.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="aggregate arrival rate per site (default: scenario, 2.0)",
+    )
+    megaload.add_argument(
+        "--cross",
+        type=float,
+        default=None,
+        help="cross-site traffic fraction (default: scenario, 0.1)",
+    )
+    megaload.add_argument(
+        "--spill-deadline",
+        type=float,
+        default=None,
+        help="cross-site spill ack deadline (default: scenario, 400)",
+    )
+    megaload.add_argument(
+        "--deadline",
+        type=float,
+        default=1800.0,
+        help="wall-clock abort deadline per sharded run (seconds)",
+    )
+    megaload.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=100_000,
+        metavar="N",
+        help=(
+            "bounded tracer size per site in the determinism recheck "
+            "(dropped events are reported)"
+        ),
+    )
+    megaload.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="write the JSON record (points, quantiles, fingerprints)",
+    )
+    megaload.set_defaults(runner=_megaload)
 
     everything = sub.add_parser("all", help="regenerate every artifact")
     everything.add_argument("--seed", type=int, default=2004)

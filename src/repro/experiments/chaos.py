@@ -118,6 +118,10 @@ class ChaosResult:
     points: Dict[float, List[ChaosPoint]] = field(default_factory=dict)
     #: Recorded fault schedule per MTBF point (the replay artifact).
     plans: Dict[float, List[dict]] = field(default_factory=dict)
+    #: Tracer ring size attached to each run (None = no tracer).
+    trace_capacity: Optional[int] = None
+    #: Trace events dropped by bounded tracers, over all points.
+    trace_dropped: int = 0
 
     def point(self, mtbf_s: float, policy: str) -> ChaosPoint:
         for p in self.points[mtbf_s]:
@@ -195,6 +199,16 @@ class ChaosResult:
                 f"({' -> '.join(self.policies)}): {arrow}"
                 f"{'' if mono else '  [NOT MONOTONE]'}"
             )
+        if self.trace_capacity is not None:
+            lines.append(
+                f"tracer: bounded to {self.trace_capacity} events; "
+                f"{self.trace_dropped} dropped"
+                + (
+                    " (traces cover run tails only)"
+                    if self.trace_dropped
+                    else ""
+                )
+            )
         return "\n".join(lines)
 
 
@@ -249,13 +263,18 @@ def _run_point(
     hold_s: float,
     n_plants: int,
     mtbf_s: float,
-) -> ChaosPoint:
+    trace_capacity: Optional[int] = None,
+) -> Tuple[ChaosPoint, int]:
     bed = build_testbed(
         seed=seed,
         n_plants=n_plants,
         retry_other_plants=retry_other_plants,
         recovery=policy,
     )
+    if trace_capacity is not None:
+        from repro.sim.trace import Tracer
+
+        bed.env.tracer = Tracer(capacity=trace_capacity)
     injector = FaultInjector(bed, plan)
     injector.start()
     stream = request_stream(memory_mb, requests)
@@ -299,7 +318,10 @@ def _run_point(
     quarantines = sum(
         h.times_opened for h in bed.shop.health.values()
     )
-    return ChaosPoint(
+    dropped = (
+        bed.env.tracer.dropped if trace_capacity is not None else 0
+    )
+    point = ChaosPoint(
         policy=policy_name,
         mtbf_s=mtbf_s,
         requests=requests,
@@ -318,6 +340,7 @@ def _run_point(
         leaks=_leak_report(bed),
         fingerprint=_fingerprint(sorted(outcomes)),
     )
+    return point, dropped
 
 
 def run_chaos(
@@ -336,6 +359,7 @@ def run_chaos(
     hang_s: float = 30.0,
     policies: Sequence[str] = tuple(name for name, _, _ in POLICY_LADDER),
     plans: Optional[Dict[float, List[dict]]] = None,
+    trace_capacity: Optional[int] = None,
 ) -> ChaosResult:
     """Sweep fault pressure (MTBF) across the recovery-policy ladder.
 
@@ -343,6 +367,8 @@ def run_chaos(
     against every policy.  ``plans`` (mtbf → recorded events, the
     ``plans`` section of a saved report) bypasses generation entirely —
     the replay path: identical schedule, bit-identical outcome.
+    ``trace_capacity`` attaches a bounded tracer to every run and
+    reports dropped events (default: no tracer, as before).
     """
     if requests <= 0:
         raise ValueError("requests must be positive")
@@ -364,6 +390,7 @@ def run_chaos(
         mttr_s=mttr_s,
         n_plants=n_plants,
         policies=tuple(policies),
+        trace_capacity=trace_capacity,
     )
     for mtbf in mtbf_sweep:
         if plans is not None and mtbf in plans:
@@ -388,8 +415,9 @@ def run_chaos(
                 hang_s=hang_s,
             )
         result.plans[mtbf] = plan.to_records()
-        result.points[mtbf] = [
-            _run_point(
+        pts = []
+        for name, retry, policy in ladder:
+            point, dropped = _run_point(
                 name,
                 retry,
                 policy,
@@ -401,7 +429,9 @@ def run_chaos(
                 hold_s,
                 n_plants,
                 mtbf,
+                trace_capacity,
             )
-            for name, retry, policy in ladder
-        ]
+            pts.append(point)
+            result.trace_dropped += dropped
+        result.points[mtbf] = pts
     return result

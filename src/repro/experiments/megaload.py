@@ -1,0 +1,375 @@
+"""Megaload sweep: trace-driven sites, streaming metrics, any scale.
+
+Runs the ``megaload`` scenario — one federated site per kernel shard
+under the lazy multi-tenant arrival streams of
+:mod:`repro.workloads.traces` — across shard counts, and measures the
+control-plane rate the million-request rung hangs on:
+
+* ``req/s (wall)`` — completed requests per coordinator wall-clock
+  second, and ``agg req/s`` — sum over shards of (its completed
+  requests / its CPU-seconds), the machine-independent number.
+* latency quantiles from the merged per-site
+  :class:`~repro.analysis.streaming.WorkloadSummary` sketches — never
+  from stored samples; the coordinator merges per-shard partials
+  first, then across shards, exactly as a distributed collector
+  would.
+* ``peak RSS`` — the largest worker's peak resident set, the bound
+  that makes the 1M-request run fit a developer machine.
+
+Two invariants are asserted on every sweep and reported:
+
+* **fingerprints** — merged-trace fingerprints at 1 shard vs
+  ``max(shard_counts)`` vs a repeat are identical (the PR 6 / PR 8
+  determinism contract, rechecked under bounded tracers);
+* **sketches** — the merged summary state is bit-identical at every
+  shard count (the exact-merge contract of
+  :mod:`repro.analysis.streaming`).
+
+Scaling rungs::
+
+    vmplants megaload                                   # smoke
+    vmplants megaload --sites 8 --shards 1 4 8 \\
+        --requests-per-site 2000                        # 16k requests
+    vmplants megaload --sites 16 --shards 16 \\
+        --requests-per-site 62500                       # 1M requests
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.shard import ShardedTestbed
+
+__all__ = ["MegaLoadPoint", "MegaLoadResult", "run_megaload"]
+
+
+@dataclass(frozen=True)
+class MegaLoadPoint:
+    """One timed megaload run at a given shard count."""
+
+    shards: int
+    sites: int
+    requests: int
+    arrivals: int
+    ok: int
+    failed: int
+    deadline_miss: int
+    spilled_ok: int
+    events: int
+    wall_s: float
+    cpu_s: float
+    agg_events_per_sec: float
+    wall_requests_per_sec: float
+    agg_requests_per_sec: float
+    peak_rss_mb: float
+    p50_latency_s: float
+    p95_latency_s: float
+    p99_latency_s: float
+    mean_latency_s: float
+    summary_signature: str
+
+    def as_dict(self) -> dict:
+        return {
+            "shards": self.shards,
+            "sites": self.sites,
+            "requests": self.requests,
+            "arrivals": self.arrivals,
+            "ok": self.ok,
+            "failed": self.failed,
+            "deadline_miss": self.deadline_miss,
+            "spilled_ok": self.spilled_ok,
+            "events": self.events,
+            "wall_s": round(self.wall_s, 4),
+            "cpu_s": round(self.cpu_s, 4),
+            "agg_events_per_sec": round(self.agg_events_per_sec, 1),
+            "wall_requests_per_sec": round(
+                self.wall_requests_per_sec, 2
+            ),
+            "agg_requests_per_sec": round(
+                self.agg_requests_per_sec, 2
+            ),
+            "peak_rss_mb": round(self.peak_rss_mb, 1),
+            "p50_latency_s": round(self.p50_latency_s, 3),
+            "p95_latency_s": round(self.p95_latency_s, 3),
+            "p99_latency_s": round(self.p99_latency_s, 3),
+            "mean_latency_s": round(self.mean_latency_s, 3),
+            "summary_signature": self.summary_signature,
+        }
+
+
+@dataclass
+class MegaLoadResult:
+    """Full sweep plus the determinism and exact-merge rechecks."""
+
+    seed: int
+    sites: int
+    shard_counts: Tuple[int, ...]
+    params: Dict[str, Any]
+    points: List[MegaLoadPoint] = field(default_factory=list)
+    #: (tenant, ok, failed, misses, p95) from the largest run.
+    tenant_rows: List[Tuple[str, int, int, int, float]] = field(
+        default_factory=list
+    )
+    #: shard count -> merged-trace fingerprint (bounded tracers).
+    fingerprints: Dict[int, str] = field(default_factory=dict)
+    repeat_fingerprint: str = ""
+    #: Trace events dropped by the bounded tracers in the recheck.
+    trace_dropped: int = 0
+    trace_capacity: Optional[int] = None
+
+    @property
+    def sketch_equal(self) -> bool:
+        """Merged summary state bit-identical at every shard count."""
+        sigs = {p.summary_signature for p in self.points}
+        return len(sigs) == 1
+
+    @property
+    def deterministic(self) -> bool:
+        fps = set(self.fingerprints.values())
+        return (
+            len(fps) == 1
+            and self.repeat_fingerprint in fps
+            and self.sketch_equal
+        )
+
+    def point(self, shards: int) -> MegaLoadPoint:
+        for p in self.points:
+            if p.shards == shards:
+                return p
+        raise KeyError(f"no point for shards={shards}")
+
+    def render(self) -> str:
+        prm = self.params
+        total = self.sites * prm["requests"]
+        lines = [
+            "Extension: trace-driven megaload "
+            f"({self.sites} sites x {prm['requests']} requests/site "
+            f"= {total} requests; {prm['plants']} plants/site, "
+            f"mix {prm['interactive_fraction']:.0%} interactive / "
+            f"{prm['batch_fraction']:.0%} batch / flash remainder)",
+            "",
+            f"{'shards':>6} {'ok':>9} {'miss':>6} {'req/s':>8} "
+            f"{'agg req/s':>10} {'p50 (s)':>8} {'p95 (s)':>8} "
+            f"{'p99 (s)':>8} {'RSS MB':>7}",
+            "-" * 78,
+        ]
+        for p in self.points:
+            lines.append(
+                f"{p.shards:>6d} {p.ok:>9d} {p.deadline_miss:>6d} "
+                f"{p.wall_requests_per_sec:>8.1f} "
+                f"{p.agg_requests_per_sec:>10.1f} "
+                f"{p.p50_latency_s:>8.1f} {p.p95_latency_s:>8.1f} "
+                f"{p.p99_latency_s:>8.1f} {p.peak_rss_mb:>7.0f}"
+            )
+        lines.append("-" * 78)
+        if self.tenant_rows:
+            lines.append(
+                f"{'tenant':>12} {'ok':>9} {'failed':>7} "
+                f"{'miss':>6} {'p95 (s)':>8}"
+            )
+            for tenant, ok, failed, miss, p95 in self.tenant_rows:
+                lines.append(
+                    f"{tenant:>12} {ok:>9d} {failed:>7d} "
+                    f"{miss:>6d} {p95:>8.1f}"
+                )
+            lines.append("-" * 78)
+        if self.sketch_equal and self.points:
+            lines.append(
+                "sketches: merged summary state bit-identical at "
+                f"shard counts {[p.shards for p in self.points]} "
+                f"({self.points[0].summary_signature[:16]})"
+            )
+        elif self.points:
+            lines.append(
+                "sketches: MERGE MISMATCH — "
+                + str(
+                    {
+                        p.shards: p.summary_signature[:16]
+                        for p in self.points
+                    }
+                )
+            )
+        fps = sorted(set(self.fingerprints.values()))
+        if len(fps) == 1 and self.repeat_fingerprint in fps:
+            lines.append(
+                f"determinism: merged-trace fingerprint {fps[0][:16]} "
+                f"identical at shard counts "
+                f"{sorted(self.fingerprints)} and across repeats"
+            )
+        else:
+            lines.append(
+                "determinism: FAILED — fingerprints "
+                f"{ {k: v[:16] for k, v in self.fingerprints.items()} } "
+                f"repeat {self.repeat_fingerprint[:16]}"
+            )
+        if self.trace_capacity is not None:
+            lines.append(
+                f"tracer: bounded to {self.trace_capacity} "
+                f"events/site in the recheck; "
+                f"{self.trace_dropped} events dropped"
+                + (
+                    " (fingerprints cover the retained tail only)"
+                    if self.trace_dropped
+                    else ""
+                )
+            )
+        return "\n".join(lines)
+
+    def to_record(self) -> dict:
+        return {
+            "seed": self.seed,
+            "sites": self.sites,
+            "shard_counts": list(self.shard_counts),
+            "params": {
+                k: v for k, v in sorted(self.params.items())
+            },
+            "points": [p.as_dict() for p in self.points],
+            "tenants": [
+                {
+                    "tenant": t,
+                    "ok": ok,
+                    "failed": failed,
+                    "deadline_miss": miss,
+                    "p95_latency_s": round(p95, 3),
+                }
+                for t, ok, failed, miss, p95 in self.tenant_rows
+            ],
+            "peak_rss_mb": max(
+                (p.peak_rss_mb for p in self.points), default=0.0
+            ),
+            "sketch_equal": self.sketch_equal,
+            "deterministic": self.deterministic,
+            "fingerprint": next(
+                iter(self.fingerprints.values()), ""
+            ),
+            "trace_capacity": self.trace_capacity,
+            "trace_dropped": self.trace_dropped,
+        }
+
+
+def _shard_requests_per_cpu(run) -> float:
+    """Sum over shards of (its sites' completed requests / CPU s)."""
+    ok_of = {
+        r["site"]: int(r["stats"].get("ok", 0))
+        for r in run.site_results
+    }
+    total = 0.0
+    for s in run.shard_results:
+        if s["cpu_s"] > 0:
+            total += sum(ok_of[site] for site in s["sites"]) / s["cpu_s"]
+    return total
+
+
+def run_megaload(
+    seed: int = 2004,
+    sites: int = 4,
+    shard_counts: Sequence[int] = (1, 2, 4),
+    requests_per_site: int = 250,
+    params: Optional[Dict[str, Any]] = None,
+    determinism_requests: int = 40,
+    deadline_s: Optional[float] = 1800.0,
+    trace_capacity: Optional[int] = 100_000,
+) -> MegaLoadResult:
+    """Sweep shard counts over one trace; recheck both contracts.
+
+    Timing runs disable tracing entirely (streaming summaries carry
+    the metrics); the determinism recheck reruns a shortened trace at
+    1 shard, ``max(shard_counts)`` shards and a repeat with tracing
+    bounded to ``trace_capacity`` events per site — at megaload scale
+    an unbounded tracer would be the only unbounded memory left.
+    """
+    from repro.workloads.megaload import merge_site_summaries
+
+    shard_counts = tuple(shard_counts)
+    if not shard_counts or min(shard_counts) < 1:
+        raise ValueError("shard_counts must be positive")
+    if max(shard_counts) > sites:
+        raise ValueError("shard_counts cannot exceed sites")
+    prm: Dict[str, Any] = {"requests": requests_per_site}
+    prm.update(params or {})
+
+    result = MegaLoadResult(
+        seed=seed,
+        sites=sites,
+        shard_counts=shard_counts,
+        params={},
+        trace_capacity=trace_capacity,
+    )
+    for shards in shard_counts:
+        plan = ShardedTestbed(
+            seed=seed, sites=sites, shards=shards, scenario="megaload"
+        )
+        run = plan.run(
+            params=prm, collect=None, deadline_s=deadline_s
+        )
+        result.params = run.params
+        partition = dict(enumerate(run.partition))
+        merged = merge_site_summaries(
+            run.site_results,
+            group_of=lambda site: partition[site],
+        )
+        overall = merged.overall()
+        stats = run.combined_stats()
+        ok = merged.total("ok")
+        result.points.append(
+            MegaLoadPoint(
+                shards=shards,
+                sites=sites,
+                requests=sites * run.params["requests"],
+                arrivals=int(stats.get("arrivals", 0)),
+                ok=ok,
+                failed=merged.total("failed"),
+                deadline_miss=merged.total("deadline_miss"),
+                spilled_ok=int(stats.get("spilled_ok", 0)),
+                events=run.total_events,
+                wall_s=run.wall_s,
+                cpu_s=sum(s["cpu_s"] for s in run.shard_results),
+                agg_events_per_sec=run.agg_events_per_sec,
+                wall_requests_per_sec=(
+                    ok / run.wall_s if run.wall_s > 0 else 0.0
+                ),
+                agg_requests_per_sec=_shard_requests_per_cpu(run),
+                peak_rss_mb=run.peak_rss_kb / 1024.0,
+                p50_latency_s=overall.quantile(0.50),
+                p95_latency_s=overall.quantile(0.95),
+                p99_latency_s=overall.quantile(0.99),
+                mean_latency_s=overall.mean,
+                summary_signature=merged.state_signature(),
+            )
+        )
+        result.tenant_rows = merged.tenant_rows()
+
+    det_prm = dict(prm)
+    det_prm["requests"] = min(
+        determinism_requests, requests_per_site
+    )
+    det_counts = sorted({1, max(shard_counts)})
+    for shards in det_counts:
+        plan = ShardedTestbed(
+            seed=seed, sites=sites, shards=shards, scenario="megaload"
+        )
+        run = plan.run(
+            params=det_prm,
+            collect="fingerprint",
+            deadline_s=deadline_s,
+            trace_capacity=trace_capacity,
+        )
+        result.fingerprints[shards] = run.fingerprint()
+        result.trace_dropped = max(
+            result.trace_dropped, run.trace_dropped
+        )
+    plan = ShardedTestbed(
+        seed=seed,
+        sites=sites,
+        shards=det_counts[-1],
+        scenario="megaload",
+    )
+    run = plan.run(
+        params=det_prm,
+        collect="fingerprint",
+        deadline_s=deadline_s,
+        trace_capacity=trace_capacity,
+    )
+    result.repeat_fingerprint = run.fingerprint()
+    return result

@@ -314,26 +314,43 @@ class FederationScenario(ShardScenario):
                 handle.destroyed += 1
                 return
         # Cross-site: one spill message out, one bounded ack wait.
+        outcome = yield from self._spill_and_wait(
+            handle, i, params["memory_mb"]
+        )
+        if outcome == "ok":
+            handle.latencies.append(env.now - start)
+
+    def _spill_and_wait(
+        self, handle: _FederationHandle, seq: int, memory_mb: int
+    ):
+        """Ship one request over the spill ring; wait bounded for the
+        ack.  Returns ``"ok"``, ``"failed"`` or ``"timeout"`` and
+        maintains the spill ledger — reused by the ``megaload``
+        scenario, which records outcomes into streaming summaries
+        instead of latency lists.
+        """
+        env = handle.env
+        params = handle.params
         evt = env.event()
-        handle.pending[i] = evt
+        handle.pending[seq] = evt
         handle.spills_sent += 1
-        trace(env, "federation", "spill-sent", req=i)
+        trace(env, "federation", "spill-sent", req=seq)
         handle.spill_link.send(
-            payload=(handle.site, i, params["memory_mb"], 0.0),
+            payload=(handle.site, seq, memory_mb, 0.0),
             size_mb=params["spill_mb"],
         )
         yield env.any_of(
             [evt, env.timeout(params["spill_deadline_s"])]
         )
         if not evt.triggered:
-            handle.pending.pop(i, None)
+            handle.pending.pop(seq, None)
             handle.spill_timeout += 1
-            return
+            return "timeout"
         if evt.value:
             handle.spilled_ok += 1
-            handle.latencies.append(env.now - start)
-        else:
-            handle.spill_failed += 1
+            return "ok"
+        handle.spill_failed += 1
+        return "failed"
 
     def _remote_create(self, handle: _FederationHandle, payload: tuple):
         from repro.core.errors import ReproError

@@ -420,6 +420,7 @@ class Environment:
         "_active_proc",
         "tracer",
         "_timeout_pool",
+        "boundary_emits",
     )
 
     def __init__(self, initial_time: float = 0.0):
@@ -432,6 +433,10 @@ class Environment:
         self.tracer = None
         #: Free list of recycled :class:`_PooledTimeout` instances.
         self._timeout_pool: List[_PooledTimeout] = []
+        #: Boundary messages staged from this environment; bumped by
+        #: ``BoundaryLink._stage`` and fenced on by the shard runner
+        #: (see :meth:`run_below_fenced`).
+        self.boundary_emits = 0
 
     @property
     def now(self) -> float:
@@ -558,6 +563,38 @@ class Environment:
                     callback(event)
             if event._ok is False and not event.defused:
                 raise event._value
+        return queue[0][0] if queue else float("inf")
+
+    def run_below_fenced(self, limit: float) -> float:
+        """:meth:`run_below`, stopping early after a boundary send.
+
+        Executes events strictly below ``limit`` but returns as soon
+        as a *timestamp* finishes during which :attr:`boundary_emits`
+        changed.  Conservative sync needs this: a horizon computed
+        from a peer's next event time is invalidated the moment this
+        site sends the peer a message (the peer may now wake earlier
+        and reply), so the site must stop and let the co-scheduler
+        recompute.  Finishing the emitting timestamp itself is safe —
+        any causal reply is at least one round-trip of (positive)
+        link latency away.
+        """
+        queue = self._queue
+        pop = _heappop
+        emits = self.boundary_emits
+        while queue and queue[0][0] < limit:
+            t = queue[0][0]
+            while queue and queue[0][0] == t:
+                self._now, _, _, event = pop(queue)
+                self._executed += 1
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks:
+                    for callback in callbacks:
+                        callback(event)
+                if event._ok is False and not event.defused:
+                    raise event._value
+            if self.boundary_emits != emits:
+                break
         return queue[0][0] if queue else float("inf")
 
     def run(self, until: Any = None) -> Any:

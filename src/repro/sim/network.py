@@ -315,6 +315,9 @@ class BoundaryLink(FairShareLink):
         return done
 
     def _stage(self, payload: tuple) -> None:
+        # Fence marker for the shard runner: a boundary send makes any
+        # horizon computed from this site's pre-send state stale.
+        self.env.boundary_emits += 1
         self.outbox.emit(
             dst_site=self.dst_site,
             deliver_time=self.env.now + self.latency_s,

@@ -166,13 +166,16 @@ class ShardedTestbed:
         collect: Optional[str] = "fingerprint",
         profile_dir: Optional[str] = None,
         deadline_s: Optional[float] = None,
+        trace_capacity: Optional[int] = None,
     ):
         """Execute the plan; returns a ``ShardRunResult``.
 
         ``collect`` is ``"trace"`` (full per-site traces),
         ``"fingerprint"`` (per-site trace hashes only — cheap enough
         to ship between processes) or ``None`` (no tracing; fastest,
-        used for timing runs).
+        used for timing runs).  ``trace_capacity`` bounds each site's
+        tracer to a ring of that many events (default: unbounded, the
+        behaviour the golden trajectories pin).
         """
         from repro.sim.shard.runner import run_sharded
 
@@ -184,4 +187,5 @@ class ShardedTestbed:
             collect=collect,
             profile_dir=profile_dir,
             deadline_s=deadline_s,
+            trace_capacity=trace_capacity,
         )

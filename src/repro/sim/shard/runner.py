@@ -46,6 +46,11 @@ import select
 import selectors
 import time
 import traceback
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -75,6 +80,13 @@ from repro.sim.shard.tracemerge import (
 __all__ = ["ShardRunResult", "ShardWorkerError", "run_sharded"]
 
 _INF = float("inf")
+
+
+def _maxrss_kb() -> int:
+    """Peak RSS of this process in KiB (0 where unavailable)."""
+    if resource is None:  # pragma: no cover - non-POSIX platforms
+        return 0
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
 
 
 class ShardWorkerError(RuntimeError):
@@ -192,10 +204,18 @@ class SiteGroup:
         handlers *before* local events at *t* run; deliveries at the
         horizon itself wait (another channel could still deliver at
         exactly that time with a lower ``(src, seq)`` rank).
+
+        The batch stops at the first boundary *send*: ``horizon`` was
+        derived from the peers' pre-send next event times, and a send
+        can wake an idle peer into replying earlier than that bound —
+        the group loop must recompute before this site runs further.
+        (Without the fence, bursty workloads with long local gaps let
+        a site overshoot and a reply lands in its past.)
         """
         env = rt.env
         inbox = rt.inbox
         handlers = rt.handlers
+        emits = env.boundary_emits
         while True:
             td = inbox.peek_time()
             tn = env.peek()
@@ -204,8 +224,10 @@ class SiteGroup:
                 for _, _, _, endpoint, payload in inbox.pop_at(td):
                     handlers[endpoint](payload)
             elif tn < horizon:
-                env.run_below(td if td < horizon else horizon)
+                env.run_below_fenced(td if td < horizon else horizon)
             else:
+                return
+            if env.boundary_emits != emits:
                 return
 
 
@@ -228,6 +250,7 @@ class _SiteWorld:
         collect: Optional[str],
         outbox,
         inboxes: Dict[int, SiteInbox],
+        trace_capacity: Optional[int] = None,
     ):
         self.scenario = scenario
         self.collect = collect
@@ -242,7 +265,7 @@ class _SiteWorld:
             if collect:
                 from repro.sim.trace import Tracer
 
-                env.tracer = Tracer()
+                env.tracer = Tracer(capacity=trace_capacity)
             handle = scenario.build_site(
                 env, site, plan.sites, plan.seed, params
             )
@@ -309,6 +332,7 @@ class _SiteWorld:
         if self.collect:
             events = rt.env.tracer.events
             out["trace_len"] = len(events)
+            out["trace_dropped"] = rt.env.tracer.dropped
             out["trace_fp"] = site_trace_fingerprint(events)
             if self.collect == "trace":
                 out["trace"] = events
@@ -364,6 +388,29 @@ class ShardRunResult:
                 total += s["events"] / s["cpu_s"]
         return total
 
+    @property
+    def trace_dropped(self) -> int:
+        """Trace events dropped by bounded tracers, over all sites.
+
+        Non-zero only when the run was collected with a finite
+        ``trace_capacity``; per-site trajectories are unaffected, so
+        fingerprints still agree across shard counts as long as every
+        run uses the *same* capacity — but a non-zero count means the
+        retained window (and hence the fingerprint) covers only the
+        tail of the run, which reports must say out loud.
+        """
+        return sum(
+            int(r.get("trace_dropped", 0)) for r in self.site_results
+        )
+
+    @property
+    def peak_rss_kb(self) -> int:
+        """Largest per-process peak RSS across shard workers (KiB)."""
+        return max(
+            (int(s.get("maxrss_kb", 0)) for s in self.shard_results),
+            default=0,
+        )
+
     def fingerprint(self) -> str:
         """Merged-trace fingerprint (requires trace collection)."""
         if self.collect not in ("trace", "fingerprint"):
@@ -405,12 +452,21 @@ def run_sharded(
     collect: Optional[str] = "fingerprint",
     profile_dir: Optional[str] = None,
     deadline_s: Optional[float] = None,
+    trace_capacity: Optional[int] = None,
 ) -> ShardRunResult:
-    """Execute a sharding plan; see :class:`ShardRunResult`."""
+    """Execute a sharding plan; see :class:`ShardRunResult`.
+
+    ``trace_capacity`` bounds each site's tracer to a ring buffer of
+    that many events (``None`` — the default every existing caller
+    and golden trajectory uses — keeps every event).  Dropped counts
+    surface via :attr:`ShardRunResult.trace_dropped`.
+    """
     if collect not in (None, "trace", "fingerprint"):
         raise ValueError(
             f"collect must be None, 'trace' or 'fingerprint': {collect!r}"
         )
+    if trace_capacity is not None and trace_capacity <= 0:
+        raise ValueError("trace_capacity must be positive")
     if until is not None:
         until = float(until)
         if until < 0:
@@ -426,7 +482,16 @@ def run_sharded(
 
     if plan.shards == 1:
         result = _run_inprocess(
-            plan, sc, name, prm, specs, eids, until, collect, profile_dir
+            plan,
+            sc,
+            name,
+            prm,
+            specs,
+            eids,
+            until,
+            collect,
+            profile_dir,
+            trace_capacity,
         )
     else:
         result = _run_forked(
@@ -439,6 +504,7 @@ def run_sharded(
             collect,
             profile_dir,
             deadline_s,
+            trace_capacity,
         )
     return result
 
@@ -460,13 +526,23 @@ def _run_inprocess(
     until: Optional[float],
     collect: Optional[str],
     profile_dir: Optional[str],
+    trace_capacity: Optional[int] = None,
 ) -> ShardRunResult:
     wall0 = time.perf_counter()
     site_list = list(range(plan.sites))
     inboxes = {s: SiteInbox() for s in site_list}
     outbox = LocalOutbox(inboxes)
     world = _SiteWorld(
-        plan, sc, prm, specs, eids, site_list, collect, outbox, inboxes
+        plan,
+        sc,
+        prm,
+        specs,
+        eids,
+        site_list,
+        collect,
+        outbox,
+        inboxes,
+        trace_capacity,
     )
     limit = _limit_for(until)
     path = (
@@ -496,6 +572,7 @@ def _run_inprocess(
             "events": sum(r["events"] for r in site_results),
             "sent": {},
             "recv": {},
+            "maxrss_kb": _maxrss_kb(),
         }
     ]
     return ShardRunResult(
@@ -542,6 +619,7 @@ def _run_forked(
     collect: Optional[str],
     profile_dir: Optional[str],
     deadline_s: Optional[float],
+    trace_capacity: Optional[int] = None,
 ) -> ShardRunResult:
     try:
         ctx = multiprocessing.get_context("fork")
@@ -574,6 +652,7 @@ def _run_forked(
                 pipes,
                 parent_conns,
                 child_conns,
+                trace_capacity,
             ),
             daemon=True,
         )
@@ -789,6 +868,7 @@ def _worker_main(
     pipes: Dict[Tuple[int, int], Tuple[int, int]],
     parent_conns,
     child_conns,
+    trace_capacity: Optional[int] = None,
 ) -> None:
     conn = child_conns[shard]
     # Drop every inherited descriptor that is not ours, so peer EOFs
@@ -824,6 +904,7 @@ def _worker_main(
             read_fds,
             write_fds,
             conn,
+            trace_capacity,
         )
         worker.run()
     except BaseException as exc:  # noqa: BLE001 - forwarded to parent
@@ -855,6 +936,7 @@ class _ShardWorker:
         read_fds: Dict[int, int],
         write_fds: Dict[int, int],
         conn,
+        trace_capacity: Optional[int] = None,
     ):
         self.shard = shard
         self.until = until
@@ -878,6 +960,7 @@ class _ShardWorker:
             collect,
             outbox,
             self.inboxes,
+            trace_capacity,
         )
         #: Minimum lookahead of each outbound / inbound channel.
         self.out_lookahead = {
@@ -999,6 +1082,7 @@ class _ShardWorker:
             "recv": {
                 src: r.received for src, r in self.readers.items()
             },
+            "maxrss_kb": _maxrss_kb(),
             "site_results": site_results,
         }
         self.conn.send(("result", self.shard, payload))

@@ -53,12 +53,14 @@ def get_scenario(name: str) -> "ShardScenario":
     """Look up a registered scenario by name.
 
     Scenarios living outside this module self-register on import;
-    the ``federation`` scenario is resolved lazily so this module
-    never imports the federation package (which imports the cluster
-    builder) at load time.
+    the ``federation`` and ``megaload`` scenarios are resolved lazily
+    so this module never imports the federation package (which
+    imports the cluster builder) at load time.
     """
     if name not in SCENARIOS and name == "federation":
         import repro.federation.scenario  # noqa: F401  (self-registers)
+    if name not in SCENARIOS and name == "megaload":
+        import repro.workloads.megaload  # noqa: F401  (self-registers)
     try:
         return SCENARIOS[name]
     except KeyError:

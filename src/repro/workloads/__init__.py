@@ -1,4 +1,11 @@
-"""Workload builders: request streams and canonical DAGs."""
+"""Workload builders: request streams, canonical DAGs, and lazy
+trace-driven arrival processes (:mod:`repro.workloads.traces`).
+
+The ``megaload`` shard scenario lives in
+:mod:`repro.workloads.megaload` and is *not* imported here — it pulls
+in the federation package, and the scenario registry resolves it
+lazily by name.
+"""
 
 from repro.workloads.invigo import (
     invigo_cached_prefix,
@@ -10,12 +17,30 @@ from repro.workloads.requests import (
     golden_image,
     request_stream,
 )
+from repro.workloads.traces import (
+    PROCESS_KINDS,
+    Arrival,
+    TenantSpec,
+    TraceSpec,
+    merge_arrivals,
+    read_jsonl,
+    trace_signature,
+    write_jsonl,
+)
 
 __all__ = [
+    "PROCESS_KINDS",
+    "Arrival",
+    "TenantSpec",
+    "TraceSpec",
     "experiment_dag",
     "experiment_request",
     "golden_image",
     "invigo_cached_prefix",
     "invigo_workspace_dag",
+    "merge_arrivals",
+    "read_jsonl",
     "request_stream",
+    "trace_signature",
+    "write_jsonl",
 ]

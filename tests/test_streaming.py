@@ -1,0 +1,299 @@
+"""Mergeable streaming summaries: the exact-merge contract.
+
+:mod:`repro.analysis.streaming` backs the sharded megaload runs, so
+these tests pin the properties the coordinator relies on:
+
+* **sketch accuracy** — quantiles within ``rel_err`` of the exact
+  *nearest-rank* quantile, on constant, bimodal, and heavy-tailed
+  streams, plus underflow/overflow samples;
+* **exact merge** — for *any* split of a stream into parts, merging
+  per-part summaries (in any association/order) is bit-identical —
+  serialized state included — to summarizing the unsplit stream;
+* **exact moments** — mean matches ``math.fsum`` to the last ulp and
+  merged halves report identical floats to the whole;
+* **round-trips** — ``to_state``/``from_state`` preserve signatures;
+* **guard rails** — config-mismatch merges and bad samples raise.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.streaming import (
+    ExactSum,
+    Moments,
+    QuantileSketch,
+    StreamSummary,
+    WorkloadSummary,
+)
+
+
+def nearest_rank(sorted_values, q):
+    """Exact nearest-rank quantile (the sketch's convention)."""
+    rank = max(0, math.ceil(q * len(sorted_values)) - 1)
+    return sorted_values[rank]
+
+
+def _streams():
+    rng = random.Random(2004)
+    constant = [42.0] * 257
+    bimodal = [
+        rng.gauss(5.0, 0.5) if rng.random() < 0.7 else rng.gauss(400.0, 20.0)
+        for _ in range(2000)
+    ]
+    heavy = [rng.paretovariate(1.3) for _ in range(2000)]
+    return {
+        "constant": constant,
+        "bimodal": [abs(v) for v in bimodal],
+        "heavy_tail": heavy,
+    }
+
+
+class TestQuantileSketchAccuracy:
+    @pytest.mark.parametrize("name", sorted(_streams()))
+    @pytest.mark.parametrize("q", [0.01, 0.25, 0.50, 0.95, 0.99, 1.0])
+    def test_within_rel_err_of_nearest_rank(self, name, q):
+        values = _streams()[name]
+        sk = QuantileSketch(lo=1e-3, hi=1e6, rel_err=0.01)
+        for v in values:
+            sk.add(v)
+        exact = nearest_rank(sorted(values), q)
+        got = sk.quantile(q)
+        assert got == pytest.approx(exact, rel=0.0101)
+
+    def test_constant_stream_is_exact_to_rel_err(self):
+        sk = QuantileSketch()
+        for _ in range(100):
+            sk.add(42.0)
+        # All mass in one bin; min/max clamping pins both ends.
+        assert sk.quantile(0.0) == pytest.approx(42.0, rel=0.01)
+        assert sk.quantile(1.0) == 42.0  # clamped to observed max
+
+    def test_underflow_and_overflow_buckets(self):
+        sk = QuantileSketch(lo=1.0, hi=100.0, rel_err=0.05)
+        for v in (0.0, 0.25, 10.0, 5000.0):
+            sk.add(v)
+        # Underflow reads report the sub-``lo`` bin; overflow reads
+        # fall back to the exact observed maximum.
+        assert 0.0 <= sk.quantile(0.0) <= sk.lo
+        assert sk.quantile(1.0) == 5000.0
+        assert sk.count == 4
+
+    def test_empty_and_bounds(self):
+        sk = QuantileSketch()
+        assert math.isnan(sk.quantile(0.5))
+        with pytest.raises(ValueError):
+            sk.quantile(1.5)
+        with pytest.raises(ValueError):
+            sk.add(-1.0)
+        with pytest.raises(ValueError):
+            sk.add(math.nan)
+        with pytest.raises(ValueError):
+            QuantileSketch(lo=5.0, hi=1.0)
+        with pytest.raises(ValueError):
+            QuantileSketch(rel_err=1.5)
+
+
+class TestExactMerge:
+    @pytest.mark.parametrize("name", sorted(_streams()))
+    @pytest.mark.parametrize("parts", [2, 3, 7])
+    def test_any_split_merges_to_identical_state(self, name, parts):
+        values = _streams()[name]
+        rng = random.Random(7 * parts)
+
+        whole = StreamSummary()
+        for v in values:
+            whole.add(v)
+
+        shards = [StreamSummary() for _ in range(parts)]
+        for v in values:
+            shards[rng.randrange(parts)].add(v)
+        rng.shuffle(shards)  # merge order must not matter
+        merged = shards[0]
+        for s in shards[1:]:
+            merged.merge(s)
+
+        assert merged.state_signature() == whole.state_signature()
+        for q in (0.01, 0.5, 0.95, 0.99):
+            assert merged.quantile(q) == whole.quantile(q)
+        assert merged.mean == whole.mean
+        assert merged.moments.variance == whole.moments.variance
+
+    def test_merge_is_associative(self):
+        values = _streams()["heavy_tail"]
+        a, b, c = StreamSummary(), StreamSummary(), StreamSummary()
+        for i, v in enumerate(values):
+            (a, b, c)[i % 3].add(v)
+
+        def dup(s):
+            return StreamSummary.from_state(s.to_state())
+
+        left = dup(a)
+        left.merge(b)
+        left.merge(c)
+        bc = dup(b)
+        bc.merge(c)
+        right = dup(a)
+        right.merge(bc)
+        assert left.state_signature() == right.state_signature()
+
+    def test_config_mismatch_rejected(self):
+        a = QuantileSketch(rel_err=0.01)
+        b = QuantileSketch(rel_err=0.02)
+        with pytest.raises(ValueError, match="different configs"):
+            a.merge(b)
+
+
+class TestMoments:
+    def test_mean_matches_fsum_exactly(self):
+        rng = random.Random(11)
+        values = [rng.uniform(1e-6, 1e6) for _ in range(5000)]
+        m = Moments()
+        for v in values:
+            m.add(v)
+        assert m.n == len(values)
+        assert m.mean == math.fsum(values) / len(values)
+        assert m.minimum == min(values)
+        assert m.maximum == max(values)
+
+    def test_merged_halves_report_identical_floats(self):
+        rng = random.Random(12)
+        values = [rng.expovariate(0.1) for _ in range(3001)]
+        whole = Moments()
+        for v in values:
+            whole.add(v)
+        left, right = Moments(), Moments()
+        for i, v in enumerate(values):
+            (left if i % 2 else right).add(v)
+        left.merge(right)
+        assert left.mean == whole.mean
+        assert left.variance == whole.variance
+        assert left.std == whole.std
+        assert left.to_state() == whole.to_state()
+
+    def test_variance_against_two_pass(self):
+        rng = random.Random(13)
+        values = [rng.gauss(100.0, 7.0) for _ in range(999)]
+        m = Moments()
+        for v in values:
+            m.add(v)
+        mean = math.fsum(values) / len(values)
+        twopass = math.fsum((v - mean) ** 2 for v in values) / (
+            len(values) - 1
+        )
+        assert m.variance == pytest.approx(twopass, rel=1e-12)
+
+    def test_empty_and_guards(self):
+        m = Moments()
+        assert math.isnan(m.mean)
+        assert math.isnan(m.variance)
+        assert math.isnan(m.minimum)
+        with pytest.raises(ValueError):
+            m.add(math.inf)
+        single = Moments()
+        single.add(3.5)
+        assert single.variance == 0.0
+
+
+class TestExactSum:
+    def test_representation_is_split_invariant(self):
+        rng = random.Random(21)
+        values = [rng.uniform(-1e9, 1e9) for _ in range(500)]
+        whole = ExactSum()
+        for v in values:
+            whole.add(v)
+        parts = [ExactSum() for _ in range(5)]
+        for i, v in enumerate(values):
+            parts[i % 5].add(v)
+        merged = parts[3]
+        for i in (1, 4, 0, 2):
+            merged.merge(parts[i])
+        # Not just the same value — the same (num, shift) pair.
+        assert merged.as_pair() == whole.as_pair()
+        assert whole.value == math.fsum(values)
+
+    def test_add_square_is_exact(self):
+        s = ExactSum()
+        s.add_square(0.1)
+        # (0.1 as float)^2 exactly, not the rounded float 0.1*0.1.
+        n, d = (0.1).as_integer_ratio()
+        assert s.as_pair()[0] / (1 << s.as_pair()[1]) == pytest.approx(
+            (n * n) / (d * d)
+        )
+
+    def test_round_trip(self):
+        s = ExactSum()
+        for v in (1.5, -2.25, 1e-300, 3e200):
+            s.add(v)
+        again = ExactSum.from_pair(s.as_pair())
+        assert again.as_pair() == s.as_pair()
+        assert again.value == s.value
+
+
+class TestWorkloadSummary:
+    def _filled(self, seed=31):
+        rng = random.Random(seed)
+        w = WorkloadSummary()
+        for _ in range(400):
+            tenant = rng.choice(("interactive", "batch", "crowd"))
+            if rng.random() < 0.05:
+                w.record_failed(tenant)
+            else:
+                w.record_ok(
+                    tenant,
+                    rng.expovariate(0.02),
+                    deadline_s=60.0 if tenant == "interactive" else None,
+                )
+        return w
+
+    def test_counters_and_deadline_misses(self):
+        w = WorkloadSummary()
+        w.record_ok("a", 10.0, deadline_s=60.0)
+        w.record_ok("a", 90.0, deadline_s=60.0)
+        w.record_ok("b", 5.0)
+        w.record_failed("b")
+        assert w.counters["a"] == {
+            "ok": 2,
+            "failed": 0,
+            "deadline_miss": 1,
+        }
+        assert w.total("ok") == 3
+        assert w.total("failed") == 1
+        assert w.total("deadline_miss") == 1
+
+    def test_sharded_merge_bit_identical(self):
+        rng = random.Random(32)
+        events = []
+        for _ in range(600):
+            tenant = rng.choice(("t0", "t1"))
+            events.append((tenant, rng.expovariate(0.05)))
+        whole = WorkloadSummary()
+        shards = [WorkloadSummary() for _ in range(4)]
+        for i, (tenant, lat) in enumerate(events):
+            whole.record_ok(tenant, lat, deadline_s=30.0)
+            shards[i % 4].record_ok(tenant, lat, deadline_s=30.0)
+        merged = shards[2]
+        for i in (0, 3, 1):
+            merged.merge(shards[i])
+        assert merged.state_signature() == whole.state_signature()
+        assert merged.overall().state_signature() == (
+            whole.overall().state_signature()
+        )
+        assert merged.tenant_rows() == whole.tenant_rows()
+
+    def test_state_round_trip(self):
+        w = self._filled()
+        again = WorkloadSummary.from_state(w.to_state())
+        assert again.state_signature() == w.state_signature()
+        assert again.tenant_rows() == w.tenant_rows()
+
+    def test_merge_grows_tenant_set(self):
+        a, b = WorkloadSummary(), WorkloadSummary()
+        a.record_ok("x", 1.0)
+        b.record_ok("y", 2.0)
+        a.merge(b)
+        assert sorted(a.tenants) == ["x", "y"]
+        assert a.total("ok") == 2

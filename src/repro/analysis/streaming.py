@@ -448,7 +448,7 @@ class WorkloadSummary:
 
     __slots__ = ("lo", "hi", "rel_err", "tenants", "counters")
 
-    _COUNTERS = ("ok", "failed", "deadline_miss")
+    _COUNTERS = ("ok", "failed", "deadline_miss", "shed")
 
     def __init__(
         self,
@@ -489,6 +489,12 @@ class WorkloadSummary:
         self._tenant(tenant)
         self.counters[tenant]["failed"] += 1
 
+    def record_shed(self, tenant: str) -> None:
+        """One request turned away by admission control (not failed —
+        the grid chose not to attempt it)."""
+        self._tenant(tenant)
+        self.counters[tenant]["shed"] += 1
+
     def merge(self, other: "WorkloadSummary") -> None:
         for tenant in sorted(other.tenants):
             self._tenant(tenant).merge(other.tenants[tenant])
@@ -506,7 +512,7 @@ class WorkloadSummary:
         return total
 
     def total(self, counter: str) -> int:
-        """Sum of one counter (``ok``/``failed``/``deadline_miss``)."""
+        """Sum of one counter over tenants (any of ``_COUNTERS``)."""
         return sum(c.get(counter, 0) for c in self.counters.values())
 
     def to_state(self) -> dict:

@@ -23,6 +23,7 @@ Subcommands map one-to-one to the experiment drivers::
     vmplants chaos [--mtbf S ...] [--report PATH] [--replay PATH]
     vmplants megaload [--sites N] [--shards S ...]
                       [--requests-per-site N]
+    vmplants megachaos [--report PATH] [--replay PATH]
     vmplants all                  # everything, in order
 """
 
@@ -162,6 +163,70 @@ def _megaload(args) -> str:
     if args.report:
         with open(args.report, "w") as fh:
             json.dump(result.to_record(), fh, indent=2, sort_keys=True)
+    return result.render()
+
+
+def _megachaos(args) -> str:
+    import json
+
+    from repro.experiments.megachaos import run_megachaos
+
+    if args.replay:
+        with open(args.replay) as fh:
+            report = json.load(fh)
+        cfg = report["config"]
+        # Replaying a report reuses its recorded plan AND its run
+        # parameters, so the schedule meets the exact same traces.
+        result = run_megachaos(
+            seed=cfg["seed"],
+            sites=cfg["sites"],
+            shards=cfg["shards"],
+            requests_per_site=cfg["requests_per_site"],
+            params=cfg.get("extra_params") or None,
+            blackout_site=cfg["blackout_site"],
+            blackout_at=cfg["blackout_at"],
+            blackout_s=cfg["blackout_s"],
+            crash_plants_per_site=cfg["crash_plants_per_site"],
+            mtbf_s=cfg["mtbf_s"],
+            mttr_s=cfg["mttr_s"],
+            wan_site=cfg["wan_site"],
+            wan_at=cfg["wan_at"],
+            wan_s=cfg["wan_s"],
+            wan_severity=cfg["wan_severity"],
+            spill_attempts=cfg["spill_attempts"],
+            spill_backoff_s=cfg["spill_backoff_s"],
+            shed_depth=cfg["shed_depth"],
+            preempt_depth=cfg["preempt_depth"],
+            det_shard_counts=tuple(cfg["det_shard_counts"]),
+            determinism_requests=cfg["determinism_requests"],
+            deadline_s=args.deadline,
+            trace_capacity=args.trace_capacity,
+            plan_records=report["plan"]["records"],
+        )
+    else:
+        result = run_megachaos(
+            seed=args.seed,
+            sites=args.sites,
+            shards=args.shards,
+            requests_per_site=args.requests_per_site,
+            blackout_site=args.blackout_site,
+            blackout_at=args.blackout_at,
+            blackout_s=args.blackout_duration,
+            crash_plants_per_site=args.crash_plants,
+            mtbf_s=args.mtbf,
+            mttr_s=args.mttr,
+            wan_site=args.wan_site,
+            wan_severity=args.wan_severity,
+            spill_attempts=args.spill_attempts,
+            spill_backoff_s=args.spill_backoff,
+            shed_depth=args.shed_depth,
+            preempt_depth=args.preempt_depth,
+            deadline_s=args.deadline,
+            trace_capacity=args.trace_capacity,
+        )
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(result.to_records(), fh, indent=2, sort_keys=True)
     return result.render()
 
 
@@ -666,6 +731,143 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the JSON record (points, quantiles, fingerprints)",
     )
     megaload.set_defaults(runner=_megaload)
+
+    # Not part of ``all``: the robustness ladder composes a grid
+    # fault plan with the flash-crowd trace (see DESIGN.md,
+    # "Grid-scale chaos & admission control").
+    megachaos = sub.add_parser(
+        "megachaos",
+        help=(
+            "grid resilience ladder: site blackout + flash crowd "
+            "over none/faults/failover/admission"
+        ),
+    )
+    megachaos.add_argument("--seed", type=int, default=2004)
+    megachaos.add_argument(
+        "--sites",
+        type=int,
+        default=4,
+        help="federated sites (one kernel shard per site at the max)",
+    )
+    megachaos.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="kernel shards for the ladder runs (<= --sites)",
+    )
+    megachaos.add_argument(
+        "--requests-per-site",
+        type=int,
+        default=150,
+        help="requests per site per ladder rung",
+    )
+    megachaos.add_argument(
+        "--blackout-site",
+        type=int,
+        default=1,
+        help="which site goes dark",
+    )
+    megachaos.add_argument(
+        "--blackout-at",
+        type=float,
+        default=110.0,
+        help="blackout start (simulated seconds)",
+    )
+    megachaos.add_argument(
+        "--blackout-duration",
+        type=float,
+        default=60.0,
+        help="blackout length (simulated seconds)",
+    )
+    megachaos.add_argument(
+        "--crash-plants",
+        type=int,
+        default=0,
+        help="plants per site on a background crash/recover renewal",
+    )
+    megachaos.add_argument(
+        "--mtbf",
+        type=float,
+        default=600.0,
+        help="mean time between background crashes per plant",
+    )
+    megachaos.add_argument(
+        "--mttr",
+        type=float,
+        default=60.0,
+        help="mean background crash duration",
+    )
+    megachaos.add_argument(
+        "--wan-site",
+        type=int,
+        default=None,
+        help="also partition this site's outbound spill link",
+    )
+    megachaos.add_argument(
+        "--wan-severity",
+        type=float,
+        default=0.0,
+        help=(
+            "0 = full partition; 0<s<1 = degrade bandwidth to that "
+            "fraction"
+        ),
+    )
+    megachaos.add_argument(
+        "--spill-attempts",
+        type=int,
+        default=3,
+        help="spill rounds on the failover/admission rungs",
+    )
+    megachaos.add_argument(
+        "--spill-backoff",
+        type=float,
+        default=20.0,
+        help="base backoff between spill rounds (doubles per round)",
+    )
+    megachaos.add_argument(
+        "--shed-depth",
+        type=int,
+        default=240,
+        help="tier-0 in-flight ceiling on the admission rung",
+    )
+    megachaos.add_argument(
+        "--preempt-depth",
+        type=int,
+        default=160,
+        help="in-flight depth that triggers pool preemption",
+    )
+    megachaos.add_argument(
+        "--deadline",
+        type=float,
+        default=1800.0,
+        help="wall-clock abort deadline per sharded run (seconds)",
+    )
+    megachaos.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=100_000,
+        metavar="N",
+        help="bounded tracer size per site in the determinism recheck",
+    )
+    megachaos.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the JSON report (ladder points, recorded plan, "
+            "fingerprints) — replay-stable, no wall-clock fields"
+        ),
+    )
+    megachaos.add_argument(
+        "--replay",
+        default=None,
+        metavar="PATH",
+        help=(
+            "re-run the plan and config recorded in a saved report "
+            "(ignores every knob except --deadline/--trace-capacity)"
+        ),
+    )
+    megachaos.set_defaults(runner=_megachaos)
 
     everything = sub.add_parser("all", help="regenerate every artifact")
     everything.add_argument("--seed", type=int, default=2004)

@@ -28,6 +28,7 @@ from typing import Dict, Generator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.errors import ReproError
+from repro.faults.audit import leak_report as _leak_report
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.faults.recovery import (
@@ -172,8 +173,8 @@ class ChaosResult:
             "",
             f"{'MTBF (s)':>9} {'policy':<10} {'ok':>4} {'avail':>7} "
             f"{'goodput/s':>10} {'mean lat':>9} {'faults':>7} "
-            f"{'MTTR (s)':>9} {'quar':>5} {'leaks':>6}",
-            "-" * 84,
+            f"{'skip':>5} {'MTTR (s)':>9} {'quar':>5} {'leaks':>6}",
+            "-" * 90,
         ]
         for mtbf in sorted(self.points):
             for p in self.points[mtbf]:
@@ -186,10 +187,10 @@ class ChaosResult:
                     f"{mtbf:>9.0f} {p.policy:<10} {p.ok:>4d} "
                     f"{p.availability:>7.3f} {p.goodput_per_s:>10.4f} "
                     f"{p.mean_latency_s:>9.1f} {p.faults_applied:>7d} "
-                    f"{mttr} {p.quarantines:>5d} "
+                    f"{p.faults_skipped:>5d} {mttr} {p.quarantines:>5d} "
                     f"{'LEAK' if p.leaked else 'none':>6}"
                 )
-        lines.append("-" * 84)
+        lines.append("-" * 90)
         for mtbf in sorted(self.points):
             ladder = self.availability_ladder(mtbf)
             arrow = " <= ".join(f"{a:.3f}" for a in ladder)
@@ -220,28 +221,6 @@ def _policy_table(
     if unknown:
         raise ValueError(f"unknown policies: {sorted(unknown)}")
     return [by_name[name] for name in policies]
-
-
-def _leak_report(bed) -> Dict[str, float]:
-    """Residual resources after the workload drained (want all-zero)."""
-    admitted = 0.0
-    for line_list in bed.lines.values():
-        for line in line_list:
-            admitted += sum(
-                getattr(line, "_admitted", {}).values()
-            )
-    return {
-        "host_memory_mb": float(
-            sum(h.committed_guest_mb for h in bed.hosts)
-        ),
-        "host_vms": float(sum(h.vm_count for h in bed.hosts)),
-        "admitted_mb": float(admitted),
-        "infosys_vms": float(sum(len(p.infosys) for p in bed.plants)),
-        "network_leases": float(
-            sum(p.network_pool.attached_count() for p in bed.plants)
-        ),
-        "pool_slots": float(sum(p.pooled_vms for p in bed.pools)),
-    }
 
 
 def _fingerprint(outcomes: Sequence[Tuple[int, str, float]]) -> str:

@@ -9,16 +9,22 @@ quarantine) that survives them.  See ``experiments/chaos.py`` for
 the policy-ladder sweep.
 """
 
+from repro.faults.audit import leak_report, leak_stats
 from repro.faults.health import BreakerState, PlantHealth
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import (
     FAULT_KINDS,
+    GATEWAY_HANG,
     GUEST_HANG,
     HOST_CRASH,
     LINK_DEGRADE,
+    SITE_BLACKOUT,
+    WAN_DEGRADE,
+    WAN_PARTITION,
     WAREHOUSE_OUTAGE,
     FaultEvent,
     FaultPlan,
+    grid_fault_plan,
 )
 from repro.faults.recovery import (
     CIRCUIT_BREAKER,
@@ -37,6 +43,13 @@ __all__ = [
     "WAREHOUSE_OUTAGE",
     "LINK_DEGRADE",
     "GUEST_HANG",
+    "SITE_BLACKOUT",
+    "WAN_PARTITION",
+    "WAN_DEGRADE",
+    "GATEWAY_HANG",
+    "grid_fault_plan",
+    "leak_report",
+    "leak_stats",
     "RecoveryPolicy",
     "DEADLINE_BACKOFF",
     "CIRCUIT_BREAKER",

@@ -1,0 +1,58 @@
+"""Six-dimension resource-leak audit over a drained testbed.
+
+Every chaos-style experiment ends with this check: after the workload
+drains, no host memory, admitted line capacity, information-system
+entry, network lease, or pooled clone may remain.  The audit is pure
+inspection — it never mutates the testbed — so scenario workers can
+ship its numbers in their ``collect()`` stats, where the runner's
+numeric summation turns per-site reports into a *grid-scope* audit
+(a leak on any shard shows up in the combined totals).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["leak_report", "leak_stats"]
+
+#: The audited dimensions, in report order.
+LEAK_DIMENSIONS = (
+    "host_memory_mb",
+    "host_vms",
+    "admitted_mb",
+    "infosys_vms",
+    "network_leases",
+    "pool_slots",
+)
+
+
+def leak_report(bed) -> Dict[str, float]:
+    """Residual resources after the workload drained (want all-zero)."""
+    admitted = 0.0
+    for line_list in bed.lines.values():
+        for line in line_list:
+            admitted += sum(
+                getattr(line, "_admitted", {}).values()
+            )
+    return {
+        "host_memory_mb": float(
+            sum(h.committed_guest_mb for h in bed.hosts)
+        ),
+        "host_vms": float(sum(h.vm_count for h in bed.hosts)),
+        "admitted_mb": float(admitted),
+        "infosys_vms": float(sum(len(p.infosys) for p in bed.plants)),
+        "network_leases": float(
+            sum(p.network_pool.attached_count() for p in bed.plants)
+        ),
+        "pool_slots": float(sum(p.pooled_vms for p in bed.pools)),
+    }
+
+
+def leak_stats(bed) -> Dict[str, float]:
+    """``leak_report`` keyed for scenario stats (``leak_`` prefix).
+
+    Shipped in a shard's ``collect()`` dict; the runner sums numeric
+    stats across shards, so the combined ``leak_*`` totals are the
+    grid-scope audit.
+    """
+    return {f"leak_{k}": v for k, v in leak_report(bed).items()}

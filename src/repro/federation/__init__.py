@@ -31,6 +31,7 @@ from repro.federation.addressing import (
     HierarchicalAddressPlan,
     SubnetBlock,
 )
+from repro.federation.admission import AdmissionController
 from repro.federation.gateway import FederationGateway
 from repro.federation.registry import FederatedRegistry
 from repro.federation.site import (
@@ -41,6 +42,7 @@ from repro.federation.site import (
 )
 
 __all__ = [
+    "AdmissionController",
     "HierarchicalAddressPlan",
     "SubnetBlock",
     "FederatedRegistry",

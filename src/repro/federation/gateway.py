@@ -13,18 +13,26 @@ only.  Cross-site traffic happens in exactly two cases —
 
 Only then does the gateway collect bids from remote site gateways,
 bounded by ``spill_deadline_s`` so one slow WAN peer cannot stall the
-round, and dispatches the create to the cheapest remote.  Keeping
-discovery site-local first is what makes the control plane shard: the
-common-case request never leaves its site's kernel shard, and only
-spill-overs cross :class:`~repro.sim.network.BoundaryLink`\\ s.
+round, and walks the ranked remote bids as a **failover ladder**: a
+remote whose create fails (it filled up between bid and create, or
+its site went dark) costs one rung, not the whole round.  Exhausting
+the ladder starts a fresh spill round after
+``RecoveryPolicy.spill_backoff_s`` (up to ``spill_attempts`` rounds),
+and repeatedly-failing remotes are quarantined by per-remote
+:class:`~repro.faults.health.PlantHealth` circuit breakers
+(``remote_quarantine_threshold``).  Keeping discovery site-local
+first is what makes the control plane shard: the common-case request
+never leaves its site's kernel shard, and only spill-overs cross
+:class:`~repro.sim.network.BoundaryLink`\\ s.
 """
 
 from __future__ import annotations
 
-from typing import Any, Generator, List, Optional, Sequence
+from typing import Any, Dict, Generator, List, Optional, Sequence
 
 from repro.core.errors import ShopError
 from repro.core.spec import CreateRequest
+from repro.faults.health import PlantHealth
 from repro.faults.recovery import RecoveryPolicy
 from repro.shop.bidding import Bid
 from repro.shop.vmshop import VMShop
@@ -50,12 +58,23 @@ class FederationGateway:
         self.remotes: List[Any] = []
         #: The gateway bids into the federation under this name.
         self.name = f"site{site}-gateway"
+        #: Absolute simulated times this gateway is unavailable:
+        #: ``down_until`` (site blackout — estimates decline, creates
+        #: fail fast) and ``hang_until`` (gateway hang — inbound
+        #: creates stall).  Both heal by clock comparison; the fault
+        #: injector only ever raises them.
+        self.down_until = 0.0
+        self.hang_until = 0.0
+        #: Per-remote circuit breakers (active when the policy's
+        #: ``remote_quarantine_threshold`` > 0).
+        self.remote_health: Dict[str, PlantHealth] = {}
         # Spill accounting for the experiments/bench.
         self.local_creates = 0
         self.spill_creates = 0
         self.spills_declined = 0
         self.spills_saturated = 0
         self.spill_failures = 0
+        self.spill_retries = 0
 
     def add_remote(self, gateway: Any) -> None:
         if gateway is self:
@@ -65,6 +84,8 @@ class FederationGateway:
     # -- federation-facing bidder protocol ----------------------------------
     def estimate(self, request: CreateRequest) -> Generator:
         """This site's best local bid (None = site declines)."""
+        if self.down_until > self.shop.env.now:
+            return None  # site dark: decline without touching plants
         bids = yield from self.shop.estimate(request)
         if not bids:
             return None
@@ -80,8 +101,21 @@ class FederationGateway:
 
         ``vmid`` is accepted for bidder-protocol compatibility but the
         VM is always named by the owning site's shop — VMIDs stay
-        site-unique and routable.
+        site-unique and routable.  A dark site fails fast; a hung
+        gateway stalls the caller until the hang window passes.
         """
+        if self.down_until > self.shop.env.now:
+            raise ShopError(
+                f"{self.name}: site dark until t={self.down_until:.1f}"
+            )
+        if self.hang_until > self.shop.env.now:
+            yield self.shop.env.timeout(
+                self.hang_until - self.shop.env.now
+            )
+            if self.down_until > self.shop.env.now:
+                raise ShopError(
+                    f"{self.name}: site went dark during gateway hang"
+                )
         ad = yield from self.shop.create(request, clone_mode)
         return ad
 
@@ -94,7 +128,90 @@ class FederationGateway:
             return False
         return min(bid.cost for bid in local_bids) > self.policy.spill_threshold
 
+    # -- remote circuit breakers --------------------------------------------
+    def _breaker(self, remote: Any) -> Optional[PlantHealth]:
+        if self.policy.remote_quarantine_threshold <= 0:
+            return None
+        name = getattr(remote, "name", str(remote))
+        health = self.remote_health.get(name)
+        if health is None:
+            health = PlantHealth(
+                name,
+                self.policy.remote_quarantine_threshold,
+                self.policy.remote_quarantine_s,
+            )
+            self.remote_health[name] = health
+        return health
+
+    def _open_remotes(self) -> List[Any]:
+        """Remotes admitted by their breakers (all, when disabled)."""
+        now = self.shop.env.now
+        admitted = []
+        for remote in self.remotes:
+            health = self._breaker(remote)
+            if health is None or health.allows(now):
+                admitted.append(remote)
+        return admitted
+
+    def _record_remote(self, remote: Any, ok: bool) -> None:
+        health = self._breaker(remote)
+        if health is not None:
+            now = self.shop.env.now
+            if ok:
+                health.record_success(now)
+            else:
+                health.record_failure(now)
+
     # -- placement ----------------------------------------------------------
+    def _spill(
+        self,
+        request: CreateRequest,
+        clone_mode: Optional[Any],
+    ) -> Generator:
+        """Walk the spill failover ladder; returns ``(ad, site)`` or
+        ``None`` when every remote rung failed.
+
+        Each round collects fresh bids from breaker-admitted remotes
+        and tries them best-first; a failed create costs one rung and
+        feeds that remote's breaker.  Further rounds wait
+        ``spill_backoff_delay`` first.  Every create attempt beyond
+        the first is counted in ``spill_retries``.
+        """
+        rounds = max(1, self.policy.spill_attempts)
+        tried = 0
+        for round_no in range(1, rounds + 1):
+            if round_no > 1:
+                delay = self.policy.spill_backoff_delay(round_no)
+                if delay > 0:
+                    yield self.shop.env.timeout(delay)
+            remote_bids = yield from self.shop.collector.collect(
+                self._open_remotes(),
+                request,
+                deadline_s=self.policy.spill_deadline_s,
+            )
+            if not remote_bids:
+                continue
+            for bid in self.shop.collector.rank(remote_bids):
+                if tried:
+                    self.spill_retries += 1
+                tried += 1
+                try:
+                    ad = yield from self.shop.transport.call(
+                        lambda b=bid: b.bidder.create(
+                            request, None, clone_mode
+                        )
+                    )
+                except ShopError:
+                    # The remote filled up (or went dark) between bid
+                    # and create; fail over to the next rung.
+                    self.spill_failures += 1
+                    self._record_remote(bid.bidder, ok=False)
+                else:
+                    self.spill_creates += 1
+                    self._record_remote(bid.bidder, ok=True)
+                    return ad, getattr(bid.bidder, "site", -1)
+        return None
+
     def place(
         self,
         request: CreateRequest,
@@ -116,22 +233,9 @@ class FederationGateway:
         else:
             self.spills_declined += 1
 
-        remote_bids = yield from self.shop.collector.collect(
-            self.remotes, request, deadline_s=self.policy.spill_deadline_s
-        )
-        if remote_bids:
-            winner = self.shop.collector.select(remote_bids)
-            try:
-                ad = yield from self.shop.transport.call(
-                    lambda: winner.bidder.create(request, None, clone_mode)
-                )
-            except ShopError:
-                # The remote filled up between bid and create; fall
-                # back on whatever the local site can still do.
-                self.spill_failures += 1
-            else:
-                self.spill_creates += 1
-                return ad, getattr(winner.bidder, "site", -1)
+        placed = yield from self._spill(request, clone_mode)
+        if placed is not None:
+            return placed
         if local_bids:
             # Saturated is still better than failed.
             ad = yield from self.shop.create(request, clone_mode)

@@ -25,12 +25,24 @@ functions of ``(seed, site, params)``, and boundary deliveries follow
 the runner's canonical order — merged-trace fingerprints are
 identical for every shard count (the contract the federation tests
 and the bench's determinism recheck pin).
+
+Chaos composes in: ``fault_plan`` (recorded
+:func:`~repro.faults.plan.grid_fault_plan` events) attaches a
+:class:`~repro.faults.injector.FaultInjector` to every site worker —
+each site slices its own sub-plan by tag, so injection is the same
+schedule at any shard count.  Spill resilience rides the same params:
+``spill_attempts``/``spill_backoff_s`` retry a failed or timed-out
+spill over the ring (each retry uses a fresh wire sequence number so
+stale acks cannot collide), and ``local_fallback`` tries the home
+site one last time after the ring gives up.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Dict, List
 
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.faults.recovery import RecoveryPolicy
 from repro.federation.addressing import HierarchicalAddressPlan
 from repro.federation.site import FederatedSite, build_federated_site
@@ -63,8 +75,12 @@ class _FederationHandle:
         "spill_saturated",
         "spill_failed",
         "spill_timeout",
+        "spill_retries",
+        "spills_dropped",
+        "local_fallbacks",
         "acks_sent",
         "latencies",
+        "injector",
     )
 
     def __init__(
@@ -96,9 +112,14 @@ class _FederationHandle:
         self.spill_saturated = 0
         self.spill_failed = 0
         self.spill_timeout = 0
+        self.spill_retries = 0
+        self.spills_dropped = 0
+        self.local_fallbacks = 0
         self.acks_sent = 0
         #: Request completion latencies (simulated s), local + spilled.
         self.latencies: List[float] = []
+        #: Attached fault injector (None when ``fault_plan`` is off).
+        self.injector = None
 
     @property
     def env(self) -> Environment:
@@ -137,6 +158,19 @@ class FederationScenario(ShardScenario):
             "ack_mb": 0.5,
             "link_latency_s": 8.0,
             "link_bandwidth_mbps": 25.0,
+            #: Recorded grid fault-plan events (grid_fault_plan(...)
+            #: .to_records()); each site slices its sub-plan by tag.
+            "fault_plan": None,
+            #: Spill rounds per request over the ring (1 = no retry).
+            "spill_attempts": 1,
+            #: First retry delay; doubles per further round.
+            "spill_backoff_s": 0.0,
+            #: Try the home site once more after the ring gives up.
+            "local_fallback": False,
+            #: Blackout failover: arrivals at a dark site ride the
+            #: spill ring to the neighbour instead of failing fast
+            #: (off = a dark site's own clients are dark too).
+            "reroute_on_blackout": False,
         }
 
     def link_specs(
@@ -181,6 +215,8 @@ class FederationScenario(ShardScenario):
         policy = RecoveryPolicy(
             spill_threshold=params["spill_threshold"],
             spill_deadline_s=params["spill_deadline_s"],
+            spill_attempts=params["spill_attempts"],
+            spill_backoff_s=params["spill_backoff_s"],
         )
         fsite = build_federated_site(
             site,
@@ -241,11 +277,55 @@ class FederationScenario(ShardScenario):
     ) -> None:
         handle.spill_link = links.get(f"spill{handle.site}")
         handle.ack_link = links.get(f"ack{handle.site}")
+        self._attach_faults(handle, links)
         handle.env.process(self._arrivals(handle))
+
+    def _attach_faults(
+        self, handle: _FederationHandle, links: Dict[str, Any]
+    ) -> None:
+        """Attach this site's slice of the grid fault plan (if any)."""
+        records = handle.params["fault_plan"]
+        if not records:
+            return
+        plan = FaultPlan.from_records(records).for_site(handle.site)
+        handle.injector = FaultInjector(
+            handle.fsite.bed,
+            plan,
+            links=dict(links),
+            gateway=handle.fsite.gateway,
+            site=handle.site,
+        )
+        handle.injector.start()
+
+    def _chaos_stats(self, handle: _FederationHandle) -> Dict[str, Any]:
+        """Fault/resilience counters + the grid-scope leak audit."""
+        from repro.faults.audit import leak_stats
+
+        injector = handle.injector
+        stats = {
+            "spill_retries": handle.spill_retries,
+            "spills_dropped": handle.spills_dropped,
+            "local_fallbacks": handle.local_fallbacks,
+            "faults_applied": (
+                sum(
+                    1
+                    for _, phase, _, _ in injector.applied
+                    if phase == "inject"
+                )
+                if injector is not None
+                else 0
+            ),
+            "faults_skipped": (
+                injector.skipped if injector is not None else 0
+            ),
+            "final_time": handle.env.now,
+        }
+        stats.update(leak_stats(handle.fsite.bed))
+        return stats
 
     def collect(self, handle: _FederationHandle) -> Dict[str, Any]:
         shop = handle.shop
-        return {
+        stats = {
             "created": handle.created,
             "destroyed": handle.destroyed,
             "failed": handle.failed,
@@ -263,6 +343,8 @@ class FederationScenario(ShardScenario):
             # Lists ride per-site (combined_stats sums numerics only).
             "latencies": list(handle.latencies),
         }
+        stats.update(self._chaos_stats(handle))
+        return stats
 
     # -- processes ------------------------------------------------------
     def _arrivals(self, handle: _FederationHandle):
@@ -279,13 +361,23 @@ class FederationScenario(ShardScenario):
         env = handle.env
         params = handle.params
         gateway = handle.fsite.gateway
+        dark = gateway.down_until > env.now
+        if dark and not (
+            params["reroute_on_blackout"]
+            and handle.spill_link is not None
+        ):
+            # Site blackout: arrivals at a dark site fail fast.
+            handle.failed += 1
+            return
         start = env.now
         request = experiment_request(
             params["memory_mb"],
             domain=f"site{handle.site}.grid",
             client_id=f"s{handle.site}-r{i}",
         )
-        spill = handle.routes[i] and handle.spill_link is not None
+        spill = dark or (
+            handle.routes[i] and handle.spill_link is not None
+        )
         if not spill:
             # Site-local discovery first: bid only inside the site.
             local_bids = yield from handle.shop.estimate(request)
@@ -310,15 +402,72 @@ class FederationScenario(ShardScenario):
                 handle.latencies.append(env.now - start)
                 trace(env, "federation", "created-local", req=i)
                 yield env.timeout(params["hold_s"])
-                yield from handle.shop.destroy(str(ad["vmid"]))
+                try:
+                    yield from handle.shop.destroy(str(ad["vmid"]))
+                except ReproError:
+                    pass  # crash-killed underneath us mid-hold
                 handle.destroyed += 1
                 return
         # Cross-site: one spill message out, one bounded ack wait.
-        outcome = yield from self._spill_and_wait(
+        outcome = yield from self._spill_with_retries(
             handle, i, params["memory_mb"]
         )
         if outcome == "ok":
             handle.latencies.append(env.now - start)
+        elif params["local_fallback"]:
+            ok = yield from self._local_fallback(handle, request)
+            if ok:
+                handle.latencies.append(env.now - start)
+
+    def _spill_with_retries(
+        self, handle: _FederationHandle, idx: int, memory_mb: int
+    ):
+        """The ring-side failover ladder: retry a failed or timed-out
+        spill up to ``spill_attempts`` rounds with doubling backoff.
+
+        Each attempt ships a *fresh* wire sequence number
+        (``idx * attempts + attempt``) so a stale ack from a slow
+        earlier attempt can never satisfy a later one.  With the
+        default single attempt the wire seq is exactly ``idx`` — the
+        pinned default trajectories see identical payloads.
+        """
+        params = handle.params
+        env = handle.env
+        attempts = max(1, int(params["spill_attempts"]))
+        outcome = "failed"
+        for attempt in range(attempts):
+            if attempt:
+                delay = float(params["spill_backoff_s"]) * (
+                    2.0 ** (attempt - 1)
+                )
+                if delay > 0:
+                    yield env.timeout(delay)
+                handle.spill_retries += 1
+            wire_seq = idx if attempts == 1 else idx * attempts + attempt
+            outcome = yield from self._spill_and_wait(
+                handle, wire_seq, memory_mb
+            )
+            if outcome == "ok":
+                return outcome
+        return outcome
+
+    def _local_fallback(self, handle: _FederationHandle, request):
+        """Last-resort local create after the spill ring gave up."""
+        from repro.core.errors import ReproError
+
+        try:
+            ad = yield from handle.shop.create(request)
+        except ReproError:
+            return False
+        handle.local_fallbacks += 1
+        handle.created += 1
+        yield handle.env.timeout(handle.params["hold_s"])
+        try:
+            yield from handle.shop.destroy(str(ad["vmid"]))
+        except ReproError:
+            pass  # crash-killed underneath us mid-hold
+        handle.destroyed += 1
+        return True
 
     def _spill_and_wait(
         self, handle: _FederationHandle, seq: int, memory_mb: int
@@ -358,6 +507,17 @@ class FederationScenario(ShardScenario):
 
         env = handle.env
         params = handle.params
+        gateway = handle.fsite.gateway
+        if gateway.down_until > env.now:
+            # Site dark: the spill vanishes (no ack), the source's
+            # bounded wait times out — exactly a dead WAN peer.
+            handle.spills_dropped += 1
+            return
+        if gateway.hang_until > env.now:
+            yield env.timeout(gateway.hang_until - env.now)
+            if gateway.down_until > env.now:
+                handle.spills_dropped += 1
+                return
         src, seq = int(payload[0]), int(payload[1])
         request = experiment_request(
             int(payload[2]),
@@ -379,7 +539,10 @@ class FederationScenario(ShardScenario):
         if ad is not None:
             handle.created += 1
             yield env.timeout(params["spill_hold_s"])
-            yield from handle.shop.destroy(str(ad["vmid"]))
+            try:
+                yield from handle.shop.destroy(str(ad["vmid"]))
+            except ReproError:
+                pass  # crash-killed underneath us mid-hold
             handle.destroyed += 1
 
 

@@ -356,6 +356,23 @@ class AdaptiveSpeculativePool:
             drained += count
         return drained
 
+    def shutdown(self) -> Generator:
+        """Drain until empty *and* no refill is in flight.
+
+        ``drain`` alone can race a refill: the clone being created
+        when targets are zeroed still lands in its pool afterwards.
+        Shutdown keeps draining until the refill processes settle, so
+        nothing idle survives it — the end-of-run leak audit relies
+        on this.
+        """
+        drained = 0
+        while True:
+            count = yield from self.drain()
+            drained += count
+            if not self._refilling and self.pooled_vms == 0:
+                return drained
+            yield self.env.timeout(1.0)
+
     def __repr__(self) -> str:
         return (
             f"<AdaptiveSpeculativePool {self.plant.name}"

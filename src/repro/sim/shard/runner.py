@@ -38,6 +38,7 @@ the whole run with :class:`ShardWorkerError` instead of hanging.
 
 from __future__ import annotations
 
+import gc
 import math
 import multiprocessing
 import multiprocessing.connection as mpconn
@@ -628,6 +629,11 @@ def _run_forked(
             "sharded execution requires the fork start method"
         )
     wall0 = time.perf_counter()
+    # Collect before forking so garbage isn't duplicated into every
+    # child; each worker then freezes the inherited heap (see
+    # _worker_main) so its GC never traverses — and so never
+    # copy-on-writes — objects it can't free anyway.
+    gc.collect()
     channels = _cross_channels(specs, tuple(plan.partition))
     pipes = {pair: os.pipe() for pair in sorted(channels)}
     conn_pairs = [ctx.Pipe() for _ in range(plan.shards)]
@@ -870,6 +876,12 @@ def _worker_main(
     child_conns,
     trace_capacity: Optional[int] = None,
 ) -> None:
+    # Move the inherited heap to the permanent generation: a worker
+    # can never free its parent's objects, but collecting them would
+    # fault copy-on-write pages and bill heap-proportional CPU to
+    # whichever shard GC happens to fire in — noise that scales with
+    # the *parent's* import surface, not the shard's workload.
+    gc.freeze()
     conn = child_conns[shard]
     # Drop every inherited descriptor that is not ours, so peer EOFs
     # are observable and a dead worker cannot be masked by our copies.

@@ -149,7 +149,14 @@ def record_site_traces(
 
 
 class _MegaLoadHandle(_FederationHandle):
-    __slots__ = ("stream", "summary", "trace_hash", "trace_count")
+    __slots__ = (
+        "stream",
+        "summary",
+        "trace_hash",
+        "trace_count",
+        "admission",
+        "preempted",
+    )
 
     def __init__(self, fsite: FederatedSite, sites: int, params):
         super().__init__(fsite, sites, params, times=[], routes=[])
@@ -159,6 +166,10 @@ class _MegaLoadHandle(_FederationHandle):
         #: Incremental hash of the stream actually consumed.
         self.trace_hash = hashlib.sha256()
         self.trace_count = 0
+        #: Gateway admission controller (disabled by default).
+        self.admission = None
+        #: Speculative/pooled clones reclaimed under pressure.
+        self.preempted = 0
 
 
 class MegaLoadScenario(FederationScenario):
@@ -189,6 +200,21 @@ class MegaLoadScenario(FederationScenario):
                 #: Replay: site i reads <trace_dir>/site<i>.jsonl
                 #: instead of generating its stream (None = generate).
                 "trace_dir": None,
+                # Overload admission control (all off by default; see
+                # repro.federation.admission).
+                #: Shed a tenant once in-flight depth reaches
+                #: shed_depth // (tier + 1)  (None = no shedding).
+                "shed_depth": None,
+                #: Shed non-tier-0 tenants above this offered rate.
+                "shed_rate_per_s": None,
+                "rate_window_s": 30.0,
+                #: Reclaim idle pooled clones at this depth.
+                "preempt_depth": None,
+                #: Tenant -> priority tier (lower = higher priority).
+                "priorities": None,
+                #: Build sites with adaptive speculative pools (gives
+                #: preemption something to reclaim).
+                "speculative_pools": False,
             }
         )
         return prm
@@ -203,13 +229,23 @@ class MegaLoadScenario(FederationScenario):
     ) -> _MegaLoadHandle:
         from repro.faults.recovery import RecoveryPolicy
         from repro.federation.addressing import HierarchicalAddressPlan
+        from repro.federation.admission import AdmissionController
         from repro.federation.site import build_federated_site
         from repro.workloads.traces import read_jsonl
 
         policy = RecoveryPolicy(
             spill_threshold=params["spill_threshold"],
             spill_deadline_s=params["spill_deadline_s"],
+            spill_attempts=params["spill_attempts"],
+            spill_backoff_s=params["spill_backoff_s"],
         )
+        testbed_kw = {}
+        if params["speculative_pools"]:
+            from repro.provisioning import ProvisioningConfig
+
+            testbed_kw["provisioning"] = ProvisioningConfig(
+                speculative_pools=True
+            )
         fsite = build_federated_site(
             site,
             sites,
@@ -220,8 +256,16 @@ class MegaLoadScenario(FederationScenario):
             plan=HierarchicalAddressPlan(sites),
             recovery=policy,
             env=env,
+            **testbed_kw,
         )
         handle = _MegaLoadHandle(fsite, sites, params)
+        handle.admission = AdmissionController(
+            shed_depth=params["shed_depth"],
+            shed_rate_per_s=params["shed_rate_per_s"],
+            rate_window_s=params["rate_window_s"],
+            preempt_depth=params["preempt_depth"],
+            priorities=params["priorities"],
+        )
         if params["trace_dir"] is not None:
             path = os.path.join(
                 str(params["trace_dir"]), f"site{site}.jsonl"
@@ -243,6 +287,7 @@ class MegaLoadScenario(FederationScenario):
         env = handle.env
         params = handle.params
         cross = float(params["cross_fraction"])
+        procs = []
         for idx, arrival in enumerate(handle.stream):
             handle.trace_hash.update(_canonical_line(arrival).encode())
             handle.trace_hash.update(b"\n")
@@ -255,11 +300,57 @@ class MegaLoadScenario(FederationScenario):
                 handle.fsite.bed.rng.uniform("megaload/route", 0.0, 1.0)
                 < cross
             )
-            env.process(
-                self._one_arrival(handle, idx, arrival, is_cross)
+            procs.append(
+                env.process(
+                    self._one_arrival(handle, idx, arrival, is_cross)
+                )
             )
+        if handle.fsite.bed.pools:
+            # Shut the speculative pools down once the workload has
+            # fully drained, so idle prefilled clones are handed back
+            # and the end-of-run leak audit measures true leaks (this
+            # is shutdown, not pressure — ``preempted`` not touched).
+            yield env.all_of(procs)
+            for pool in handle.fsite.bed.pools:
+                yield from pool.shutdown()
 
     def _one_arrival(
+        self,
+        handle: _MegaLoadHandle,
+        idx: int,
+        arrival: Arrival,
+        is_cross: bool,
+    ):
+        env = handle.env
+        gateway = handle.fsite.gateway
+        summary = handle.summary
+        adm = handle.admission
+        dark = gateway.down_until > env.now
+        if dark and not (
+            handle.params["reroute_on_blackout"]
+            and handle.spill_link is not None
+        ):
+            # Site blackout: arrivals at a dark site fail fast.
+            handle.failed += 1
+            summary.record_failed(arrival.tenant)
+            return
+        adm_on = adm is not None and adm.enabled
+        if adm_on:
+            if not adm.admit(arrival.tenant, env.now):
+                summary.record_shed(arrival.tenant)
+                return
+            if adm.maybe_preempt():
+                env.process(self._preempt_pools(handle))
+            adm.begin()
+        try:
+            yield from self._serve_arrival(
+                handle, idx, arrival, is_cross or dark
+            )
+        finally:
+            if adm_on:
+                adm.done()
+
+    def _serve_arrival(
         self,
         handle: _MegaLoadHandle,
         idx: int,
@@ -309,12 +400,19 @@ class MegaLoadScenario(FederationScenario):
                 )
                 trace(env, "megaload", "created-local", req=idx)
                 yield env.timeout(params["hold_s"])
-                yield from handle.shop.destroy(str(ad["vmid"]))
+                try:
+                    yield from handle.shop.destroy(str(ad["vmid"]))
+                except ReproError:
+                    pass  # crash-killed underneath us mid-hold
                 handle.destroyed += 1
                 return
-        outcome = yield from self._spill_and_wait(
+        outcome = yield from self._spill_with_retries(
             handle, idx, arrival.memory_mb
         )
+        if outcome != "ok" and params["local_fallback"]:
+            ok = yield from self._local_fallback(handle, request)
+            if ok:
+                outcome = "ok"
         if outcome == "ok":
             summary.record_ok(
                 arrival.tenant,
@@ -322,12 +420,25 @@ class MegaLoadScenario(FederationScenario):
                 deadline_s=arrival.deadline_s,
             )
         else:
+            handle.failed += 1
             summary.record_failed(arrival.tenant)
+
+    def _preempt_pools(self, handle: _MegaLoadHandle):
+        """Reclaim every idle speculative clone on this site."""
+        reclaimed = 0
+        for pool in handle.fsite.bed.pools:
+            count = yield from pool.drain()
+            reclaimed += count
+        handle.preempted += reclaimed
+        if reclaimed:
+            trace(
+                handle.env, "megaload", "preempted", count=reclaimed
+            )
 
     def collect(self, handle: _MegaLoadHandle) -> Dict[str, Any]:
         shop = handle.shop
         summary = handle.summary
-        return {
+        stats = {
             "created": handle.created,
             "destroyed": handle.destroyed,
             "failed": handle.failed,
@@ -345,11 +456,20 @@ class MegaLoadScenario(FederationScenario):
             "arrivals": handle.trace_count,
             "ok": summary.total("ok"),
             "deadline_miss": summary.total("deadline_miss"),
+            "shed": summary.total("shed"),
+            "preempted": handle.preempted,
+            "preempt_signals": (
+                handle.admission.preempt_signals
+                if handle.admission is not None
+                else 0
+            ),
             # Strings/dicts ride per-site only (combined_stats sums
             # numeric fields and skips these).
             "trace_signature": handle.trace_hash.hexdigest(),
             "summary_state": summary.to_state(),
         }
+        stats.update(self._chaos_stats(handle))
+        return stats
 
 
 def merge_site_summaries(

@@ -371,6 +371,81 @@ class TestFederatedGrid:
             gw.add_remote(gw)
 
 
+class TestGatewayFailoverLadder:
+    """Regression: a failed remote create must fail over to the next
+    ranked remote bid, not abandon the whole spill round."""
+
+    @staticmethod
+    def _break_first_create(grid, sites):
+        """Whichever remote is tried first raises once, then heals."""
+        state = {"broken": 0}
+
+        def wrap(gateway):
+            orig = gateway.create
+
+            def create(request, vmid=None, clone_mode=None, _orig=orig):
+                if state["broken"] == 0:
+                    state["broken"] += 1
+
+                    def boom():
+                        raise ShopError("injected remote crash")
+                        yield  # pragma: no cover
+
+                    return boom()
+                return _orig(request, vmid, clone_mode)
+
+            gateway.create = create
+
+        for s in sites:
+            wrap(grid.sites[s].gateway)
+        return state
+
+    def test_failed_remote_create_walks_to_next_rung(self):
+        grid = build_federated_grid(
+            3, seed=3, n_plants=1, rack_size=1, max_vms_per_plant=1
+        )
+        gw0 = grid.sites[0].gateway
+        # Fill site 0 so the next placement must spill.
+        grid.run(gw0.place(experiment_request(32)))
+        state = self._break_first_create(grid, (1, 2))
+        ad, site = grid.run(gw0.place(experiment_request(32)))
+        assert state["broken"] == 1
+        assert site in (1, 2)  # landed on the *other* remote
+        assert gw0.spill_creates == 1
+        assert gw0.spill_failures == 1
+        assert gw0.spill_retries == 1  # exactly one extra rung
+        assert str(ad["vmid"]).startswith(f"site{site}-")
+
+    def test_repeat_failures_trip_the_remote_breaker(self):
+        grid = build_federated_grid(
+            2, seed=3, n_plants=1, rack_size=1,
+            recovery=RecoveryPolicy(
+                remote_quarantine_threshold=2,
+                remote_quarantine_s=500.0,
+            ),
+        )
+        gw0 = grid.sites[0].gateway
+        remote = grid.sites[1].gateway
+        assert gw0._open_remotes() == [remote]
+        gw0._record_remote(remote, ok=False)
+        assert gw0._open_remotes() == [remote]  # below threshold
+        gw0._record_remote(remote, ok=False)
+        assert gw0._open_remotes() == []  # quarantined
+        # A success after the quarantine window closes the breaker.
+        health = gw0.remote_health[remote.name]
+        assert health.allows(600.0)  # HALF_OPEN probe after expiry
+        gw0._record_remote(remote, ok=True)
+        assert gw0._open_remotes() == [remote]
+
+    def test_breakers_disabled_by_default(self):
+        grid = build_federated_grid(2, seed=3, n_plants=1, rack_size=1)
+        gw0 = grid.sites[0].gateway
+        for _ in range(10):
+            gw0._record_remote(grid.sites[1].gateway, ok=False)
+        assert gw0.remote_health == {}
+        assert gw0._open_remotes() == [grid.sites[1].gateway]
+
+
 # ---------------------------------------------------------------------------
 # Determinism across shard counts; classic testbed untouched
 # ---------------------------------------------------------------------------

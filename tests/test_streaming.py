@@ -259,7 +259,11 @@ class TestWorkloadSummary:
             "ok": 2,
             "failed": 0,
             "deadline_miss": 1,
+            "shed": 0,
         }
+        w.record_shed("a")
+        assert w.counters["a"]["shed"] == 1
+        assert w.total("shed") == 1
         assert w.total("ok") == 3
         assert w.total("failed") == 1
         assert w.total("deadline_miss") == 1
